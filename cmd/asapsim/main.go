@@ -1,0 +1,123 @@
+// Command asapsim runs a single address-translation scenario and prints its
+// metrics. It is the low-level entry point; cmd/paperrepro regenerates the
+// paper's tables and figures wholesale.
+//
+// Example:
+//
+//	asapsim -workload mc80 -asap p1+p2 -colocate
+//	asapsim -workload redis -virt -guest p1+p2 -host p1+p2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		name      = flag.String("workload", "mc80", "workload name ("+strings.Join(workload.Names(), ", "))
+		asapFlag  = flag.String("asap", "off", "native ASAP config: off, p1, p1+p2, p1+p2+p3")
+		guestFlag = flag.String("guest", "off", "guest ASAP config (with -virt)")
+		hostFlag  = flag.String("host", "off", "host ASAP config (with -virt)")
+		virtual   = flag.Bool("virt", false, "run under virtualization (2D nested walks)")
+		colocate  = flag.Bool("colocate", false, "add the synthetic SMT co-runner")
+		hugeHost  = flag.Bool("hugehost", false, "hypervisor backs guest RAM with 2MB pages")
+		clustered = flag.Bool("ctlb", false, "replace the STLB with a Clustered TLB")
+		fiveLevel = flag.Bool("5level", false, "use 5-level page tables (native)")
+		holes     = flag.Float64("holes", 0, "probability of a hole per ASAP-region PT node")
+		measure   = flag.Int("measure", 0, "measured page walks (0 = default)")
+		warmup    = flag.Int("warmup", 0, "warmup page walks (0 = default)")
+		seed      = flag.Uint64("seed", 0, "random seed (0 = default)")
+		breakdown = flag.Bool("breakdown", false, "print the Fig 9 per-level breakdown")
+	)
+	flag.Parse()
+
+	spec, ok := workload.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q; have %s\n", *name, strings.Join(workload.Names(), ", "))
+		os.Exit(2)
+	}
+	p := sim.DefaultParams()
+	p.FiveLevel = *fiveLevel
+	p.HoleProb = *holes
+	if *measure > 0 {
+		p.MeasureWalks = *measure
+	}
+	if *warmup > 0 {
+		p.WarmupWalks = *warmup
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	sc := sim.Scenario{
+		Workload:      spec,
+		Virtualized:   *virtual,
+		Colocated:     *colocate,
+		HostHugePages: *hugeHost,
+		ClusteredTLB:  *clustered,
+		ASAP: sim.ASAPConfig{
+			Native: parseASAP(*asapFlag),
+			Guest:  parseASAP(*guestFlag),
+			Host:   parseASAP(*hostFlag),
+		},
+	}
+	res, err := sim.Run(sc, p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scenario            %s\n", sc.Name())
+	fmt.Printf("references          %d measured\n", res.Accesses)
+	fmt.Printf("page walks          %d (TLB miss ratio %.1f%%)\n", res.Walks, 100*res.TLBMissRatio)
+	fmt.Printf("avg walk latency    %.1f cycles\n", res.AvgWalkLat)
+	fmt.Printf("walk cycle share    %.1f%% of execution (model)\n", 100*res.WalkFraction)
+	fmt.Printf("TLB MPKI            %.2f\n", res.MPKI)
+	if sc.ASAP.Enabled() {
+		fmt.Printf("prefetches          %d issued, %d accesses covered\n", res.PrefetchIssued, res.PrefetchCovered)
+		fmt.Printf("range-register hits %.1f%%\n", 100*res.RangeHitRate)
+	}
+	if *breakdown {
+		fmt.Println()
+		fmt.Print(breakdownTable(res))
+	}
+}
+
+func parseASAP(s string) core.Config {
+	var c core.Config
+	switch strings.ToLower(s) {
+	case "", "off", "baseline", "none":
+	case "p1":
+		c.P1 = true
+	case "p2":
+		c.P2 = true
+	case "p1+p2":
+		c.P1, c.P2 = true, true
+	case "p1+p2+p3":
+		c.P1, c.P2, c.P3 = true, true, true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown ASAP config %q (want off, p1, p2, p1+p2, p1+p2+p3)\n", s)
+		os.Exit(2)
+	}
+	return c
+}
+
+func breakdownTable(res *sim.Result) string {
+	tb := stats.NewTable("PT level", "PWC", "L1", "L2", "LLC", "Mem")
+	for level := 4; level >= 1; level-- {
+		row := []string{fmt.Sprintf("PL%d", level)}
+		for _, s := range []cache.ServedBy{cache.ServedPWC, cache.ServedL1, cache.ServedL2, cache.ServedL3, cache.ServedMem} {
+			row = append(row, stats.Pct(res.Breakdown.Fraction(level, s)))
+		}
+		tb.AddRow(row...)
+	}
+	return tb.String()
+}

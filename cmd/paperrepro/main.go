@@ -1,0 +1,53 @@
+// Command paperrepro regenerates the tables and figures of "Prefetched
+// Address Translation" (Margaritov et al., MICRO-52 2019) from the simulator
+// in this repository.
+//
+// Usage:
+//
+//	paperrepro -exp all            # everything (several minutes)
+//	paperrepro -exp fig8           # one experiment
+//	paperrepro -exp fig10 -fast    # reduced measurement protocol
+//	paperrepro -list               # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		name = flag.String("exp", "all", "experiment to run (see -list)")
+		fast = flag.Bool("fast", false, "reduced measurement protocol (quicker, noisier)")
+		list = flag.Bool("list", false, "list experiment names and exit")
+		only = flag.String("workload", "", "restrict to one workload (where applicable)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Experiments() {
+			fmt.Println(e.Name)
+		}
+		return
+	}
+	o := exp.Default(os.Stdout)
+	if *fast {
+		o = exp.Fast(os.Stdout)
+	}
+	if *only != "" {
+		spec, ok := workload.ByName(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *only)
+			os.Exit(2)
+		}
+		o.Workloads = []workload.Spec{spec}
+	}
+	if err := exp.Run(*name, o); err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,217 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestSetAssocBasic(t *testing.T) {
+	s := NewSetAssoc(16, 4)
+	if s.Lookup(42) {
+		t.Fatal("hit in empty array")
+	}
+	s.Insert(42)
+	if !s.Lookup(42) {
+		t.Fatal("miss after insert")
+	}
+	if !s.Contains(42) {
+		t.Fatal("Contains false after insert")
+	}
+	s.Flush()
+	if s.Lookup(42) {
+		t.Fatal("hit after flush")
+	}
+}
+
+func TestSetAssocLRUEviction(t *testing.T) {
+	// One set (fully associative, 4 ways): the least recently used entry
+	// must be the victim.
+	s := NewSetAssoc(4, 4)
+	for k := uint64(0); k < 4; k++ {
+		s.Insert(k * 4) // same set when sets=1
+	}
+	s.Lookup(0) // make key 0 most recently used
+	s.Insert(100)
+	if !s.Contains(0) {
+		t.Fatal("most recently used entry evicted")
+	}
+	if s.Contains(4) {
+		t.Fatal("LRU entry 4 survived eviction")
+	}
+}
+
+func TestSetAssocSetConflicts(t *testing.T) {
+	// 2 sets × 1 way: keys with the same low bit conflict.
+	s := NewSetAssoc(2, 1)
+	s.Insert(0)
+	s.Insert(2) // same set as 0
+	if s.Contains(0) {
+		t.Fatal("direct-mapped conflict did not evict")
+	}
+	s.Insert(1) // other set
+	if !s.Contains(2) || !s.Contains(1) {
+		t.Fatal("non-conflicting keys evicted each other")
+	}
+}
+
+func TestSetAssocInsertRefreshesAge(t *testing.T) {
+	s := NewSetAssoc(2, 2)
+	s.Insert(0)
+	s.Insert(2)
+	s.Insert(0) // refresh; must not duplicate
+	s.Insert(4) // evicts 2, not 0
+	if !s.Contains(0) || s.Contains(2) {
+		t.Fatal("re-insert did not refresh LRU age")
+	}
+}
+
+func TestSetAssocGeometryPanics(t *testing.T) {
+	for _, g := range [][2]int{{0, 1}, {8, 3}, {12, 2}, {-4, 2}} {
+		g := g
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry %v accepted", g)
+				}
+			}()
+			NewSetAssoc(g[0], g[1])
+		}()
+	}
+}
+
+func TestSetAssocPropertyInsertThenLookup(t *testing.T) {
+	s := NewSetAssoc(1024, 8)
+	f := func(key uint64) bool {
+		s.Insert(key)
+		return s.Lookup(key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAssocPropertyCapacityBound(t *testing.T) {
+	// The number of resident keys can never exceed capacity.
+	s := NewSetAssoc(64, 4)
+	inserted := map[uint64]bool{}
+	f := func(key uint64) bool {
+		s.Insert(key)
+		inserted[key] = true
+		resident := 0
+		for k := range inserted {
+			if s.Contains(k) {
+				resident++
+			}
+		}
+		return resident <= 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyAccessLatencies(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	addr := mem.PhysAddr(1 << 20)
+	served, lat := h.Access(addr)
+	if served != ServedMem || lat != 191 {
+		t.Fatalf("cold access: %v, %d", served, lat)
+	}
+	served, lat = h.Access(addr)
+	if served != ServedL1 || lat != 4 {
+		t.Fatalf("hot access: %v, %d", served, lat)
+	}
+	if h.ServedCount(ServedMem) != 1 || h.ServedCount(ServedL1) != 1 {
+		t.Fatal("served counters wrong")
+	}
+}
+
+func TestHierarchyFillsUpperLevels(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	addr := mem.PhysAddr(64)
+	h.Access(addr)
+	if h.Where(addr) != ServedL1 {
+		t.Fatalf("line not in L1 after fill: %v", h.Where(addr))
+	}
+	// Thrash L1 only (32 KB = 512 lines, 8-way, 64 sets): fill lines mapping
+	// to the same set until the line falls out of L1 but stays in L2.
+	for i := 1; i <= 8; i++ {
+		h.Access(mem.PhysAddr(64 + i*64*64)) // same L1 set (64 sets)
+	}
+	where := h.Where(addr)
+	if where == ServedL1 {
+		t.Fatal("line survived L1 conflict thrash")
+	}
+	if where == ServedMem {
+		t.Fatal("line fell out of the whole hierarchy")
+	}
+	served, _ := h.Access(addr)
+	if served != where {
+		t.Fatalf("Access served at %v, probe said %v", served, where)
+	}
+}
+
+func TestHierarchyL1DistinctSets(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	// Fill many distinct sets; all must be L1 hits on re-access.
+	for i := 0; i < 64; i++ {
+		h.Access(mem.PhysAddr(i * 64))
+	}
+	for i := 0; i < 64; i++ {
+		if served, _ := h.Access(mem.PhysAddr(i * 64)); served != ServedL1 {
+			t.Fatalf("line %d not L1 resident", i)
+		}
+	}
+}
+
+func TestHierarchyLatencyAccessor(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	if h.Latency(ServedL1) != 4 || h.Latency(ServedL2) != 12 || h.Latency(ServedL3) != 40 || h.Latency(ServedMem) != 191 {
+		t.Fatal("latency table wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Latency(ServedPWC) did not panic")
+		}
+	}()
+	h.Latency(ServedPWC)
+}
+
+func TestServedByString(t *testing.T) {
+	want := map[ServedBy]string{ServedPWC: "PWC", ServedL1: "L1", ServedL2: "L2", ServedL3: "LLC", ServedMem: "Mem"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Fatalf("%d.String() = %q, want %q", int(s), s.String(), w)
+		}
+	}
+}
+
+func TestMSHRFile(t *testing.T) {
+	m := NewMSHRFile(2)
+	if !m.TryAcquire(0, 100) || !m.TryAcquire(0, 50) {
+		t.Fatal("fresh MSHRs not acquirable")
+	}
+	if m.TryAcquire(0, 10) {
+		t.Fatal("third acquisition succeeded with 2 MSHRs")
+	}
+	if m.Dropped() != 1 {
+		t.Fatalf("Dropped = %d", m.Dropped())
+	}
+	if m.InUse(0) != 2 || m.InUse(60) != 1 || m.InUse(100) != 0 {
+		t.Fatal("InUse accounting wrong")
+	}
+	if !m.TryAcquire(50, 200) {
+		t.Fatal("expired MSHR not reusable")
+	}
+}
+
+func TestMSHRPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMSHRFile(0) did not panic")
+		}
+	}()
+	NewMSHRFile(0)
+}

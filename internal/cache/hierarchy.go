@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// ServedBy identifies the memory-hierarchy level that satisfied an access.
+// PWC is included so that page-walk accounting (Fig 9) can attribute skipped
+// walk levels to the page-walk caches.
+type ServedBy int
+
+// Hierarchy levels, fastest first.
+const (
+	ServedPWC ServedBy = iota
+	ServedL1
+	ServedL2
+	ServedL3
+	ServedMem
+	servedCount
+)
+
+// NumServedBy is the number of ServedBy values, for sizing breakdown tables.
+const NumServedBy = int(servedCount)
+
+// String returns the conventional name of the level.
+func (s ServedBy) String() string {
+	switch s {
+	case ServedPWC:
+		return "PWC"
+	case ServedL1:
+		return "L1"
+	case ServedL2:
+		return "L2"
+	case ServedL3:
+		return "LLC"
+	case ServedMem:
+		return "Mem"
+	default:
+		return fmt.Sprintf("ServedBy(%d)", int(s))
+	}
+}
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	SizeBytes int
+	Ways      int
+	Latency   int // total load-to-use latency when served at this level
+}
+
+// Config describes the whole hierarchy. The defaults mirror the paper's
+// Table 5 (Intel Broadwell-like).
+type Config struct {
+	L1, L2, L3 LevelConfig
+	MemLatency int
+}
+
+// DefaultConfig returns the paper's Table 5 hierarchy: 32 KB/8-way L1 at 4
+// cycles, 256 KB/8-way L2 at 12 cycles, 20 MB/20-way L3 at 40 cycles and
+// 191-cycle main memory.
+func DefaultConfig() Config {
+	return Config{
+		L1:         LevelConfig{SizeBytes: 32 << 10, Ways: 8, Latency: 4},
+		L2:         LevelConfig{SizeBytes: 256 << 10, Ways: 8, Latency: 12},
+		L3:         LevelConfig{SizeBytes: 20 << 20, Ways: 20, Latency: 40},
+		MemLatency: 191,
+	}
+}
+
+// Hierarchy is the simulated L1-D/L2/LLC/DRAM stack. It tracks only tags
+// (this is a timing model, not a data model) and fills every level on the
+// way back, as an inclusive hierarchy would.
+type Hierarchy struct {
+	cfg    Config
+	levels [3]*SetAssoc
+	lats   [3]int
+	served [int(servedCount)]uint64
+}
+
+// NewHierarchy builds the stack from cfg.
+func NewHierarchy(cfg Config) *Hierarchy {
+	h := &Hierarchy{cfg: cfg}
+	for i, lc := range []LevelConfig{cfg.L1, cfg.L2, cfg.L3} {
+		lines := lc.SizeBytes / mem.LineBytes
+		h.levels[i] = NewSetAssoc(lines, lc.Ways)
+		h.lats[i] = lc.Latency
+	}
+	return h
+}
+
+// Config returns the hierarchy parameters.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Access performs a demand access to addr: it returns the level that served
+// the line and the access latency, and installs the line in every level.
+func (h *Hierarchy) Access(addr mem.PhysAddr) (ServedBy, int) {
+	line := addr.Line()
+	for i, c := range h.levels {
+		if c.Lookup(line) {
+			// Fill the levels above the hit.
+			for j := 0; j < i; j++ {
+				h.levels[j].Insert(line)
+			}
+			s := ServedL1 + ServedBy(i)
+			h.served[s]++
+			return s, h.lats[i]
+		}
+	}
+	for _, c := range h.levels {
+		c.Insert(line)
+	}
+	h.served[ServedMem]++
+	return ServedMem, h.cfg.MemLatency
+}
+
+// Latency returns the access latency when served at the given level. PWC is
+// not part of the data hierarchy and is rejected.
+func (h *Hierarchy) Latency(s ServedBy) int {
+	switch s {
+	case ServedL1:
+		return h.lats[0]
+	case ServedL2:
+		return h.lats[1]
+	case ServedL3:
+		return h.lats[2]
+	case ServedMem:
+		return h.cfg.MemLatency
+	default:
+		panic(fmt.Sprintf("cache: no latency for %v", s))
+	}
+}
+
+// Where probes for the line without changing any state, reporting the level
+// that would serve it.
+func (h *Hierarchy) Where(addr mem.PhysAddr) ServedBy {
+	line := addr.Line()
+	for i, c := range h.levels {
+		if c.Contains(line) {
+			return ServedL1 + ServedBy(i)
+		}
+	}
+	return ServedMem
+}
+
+// ServedCount returns how many accesses each level has served.
+func (h *Hierarchy) ServedCount(s ServedBy) uint64 { return h.served[s] }
+
+// MSHRFile models the L1-D miss-status holding registers. ASAP prefetches
+// are issued only if a free MSHR is available at issue time (paper §3.4:
+// "prefetches are thus best-effort").
+type MSHRFile struct {
+	busyUntil []int64
+	dropped   uint64
+}
+
+// NewMSHRFile returns a file with n registers.
+func NewMSHRFile(n int) *MSHRFile {
+	if n <= 0 {
+		panic("cache: MSHR file needs at least one register")
+	}
+	return &MSHRFile{busyUntil: make([]int64, n)}
+}
+
+// TryAcquire claims a register from now until until; it reports false (and
+// counts a drop) if all registers are busy.
+func (m *MSHRFile) TryAcquire(now, until int64) bool {
+	for i, b := range m.busyUntil {
+		if b <= now {
+			m.busyUntil[i] = until
+			return true
+		}
+	}
+	m.dropped++
+	return false
+}
+
+// InUse returns the number of registers busy at time now.
+func (m *MSHRFile) InUse(now int64) int {
+	n := 0
+	for _, b := range m.busyUntil {
+		if b > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Dropped returns how many acquisitions failed.
+func (m *MSHRFile) Dropped() uint64 { return m.dropped }

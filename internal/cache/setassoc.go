@@ -1,0 +1,103 @@
+// Package cache models the processor-side caching structures of the paper's
+// simulated memory hierarchy (Table 5): a generic set-associative array with
+// true LRU, the three-level data cache hierarchy plus main memory, and the
+// MSHR file that makes ASAP prefetches best-effort.
+package cache
+
+import "fmt"
+
+// SetAssoc is a set-associative array of 64-bit keys with true-LRU
+// replacement. It is the building block for caches, TLBs and page-walk
+// caches. Sets are indexed by the low bits of the key (as hardware does), so
+// conflict behaviour is realistic.
+type SetAssoc struct {
+	sets    int
+	ways    int
+	setMask uint64
+	tags    []uint64
+	valid   []bool
+	age     []uint64
+	clock   uint64
+}
+
+// NewSetAssoc returns an array with the given geometry. entries must be a
+// positive multiple of ways, and entries/ways must be a power of two.
+func NewSetAssoc(entries, ways int) *SetAssoc {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("cache: bad geometry %d entries / %d ways", entries, ways))
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+	}
+	return &SetAssoc{
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, entries),
+		valid:   make([]bool, entries),
+		age:     make([]uint64, entries),
+	}
+}
+
+// Entries returns the total capacity in entries.
+func (s *SetAssoc) Entries() int { return s.sets * s.ways }
+
+// Ways returns the associativity.
+func (s *SetAssoc) Ways() int { return s.ways }
+
+// Lookup reports whether key is present, updating its LRU age on a hit.
+func (s *SetAssoc) Lookup(key uint64) bool {
+	base := int(key&s.setMask) * s.ways
+	for w := 0; w < s.ways; w++ {
+		if s.valid[base+w] && s.tags[base+w] == key {
+			s.clock++
+			s.age[base+w] = s.clock
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether key is present without updating LRU state.
+func (s *SetAssoc) Contains(key uint64) bool {
+	base := int(key&s.setMask) * s.ways
+	for w := 0; w < s.ways; w++ {
+		if s.valid[base+w] && s.tags[base+w] == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert installs key, evicting the LRU way of its set if needed. Inserting a
+// present key refreshes its age.
+func (s *SetAssoc) Insert(key uint64) {
+	base := int(key&s.setMask) * s.ways
+	s.clock++
+	victim := base
+	for w := 0; w < s.ways; w++ {
+		i := base + w
+		if s.valid[i] && s.tags[i] == key {
+			s.age[i] = s.clock
+			return
+		}
+		if !s.valid[i] {
+			victim = i
+			break
+		}
+		if s.age[i] < s.age[victim] {
+			victim = i
+		}
+	}
+	s.tags[victim] = key
+	s.valid[victim] = true
+	s.age[victim] = s.clock
+}
+
+// Flush invalidates every entry.
+func (s *SetAssoc) Flush() {
+	for i := range s.valid {
+		s.valid[i] = false
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/pt"
+	"repro/internal/vma"
+)
+
+// Reserver supplies contiguous physical regions for sorted page-table levels.
+// Both mem.Buddy and mem.Bump satisfy it.
+type Reserver interface {
+	Reserve(frames uint64) (mem.Frame, error)
+}
+
+// VMASetup is the OS-side outcome of registering one VMA with ASAP: the
+// hardware descriptor and the placement regions the page-table allocator must
+// honour so that the descriptor's arithmetic lands on real entries.
+type VMASetup struct {
+	Descriptor *Descriptor
+	Regions    []*pt.Region
+	Frames     uint64 // total frames reserved across levels
+}
+
+// SetupVMA reserves, at VMA creation time, one contiguous physical region per
+// configured page-table level covering the area (paper §3.3: "the OS can
+// reserve contiguous physical memory regions for PT nodes at each level of
+// the page table ahead of the eventual demand allocation"). The returned
+// regions are handed to a pt.SortedAlloc; the descriptor goes to an Engine.
+func SetupVMA(area *vma.VMA, levels []int, src Reserver) (*VMASetup, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("core: no levels configured for %s", area)
+	}
+	setup := &VMASetup{
+		Descriptor: &Descriptor{Start: area.Start, End: area.End},
+	}
+	for _, l := range levels {
+		if l < 1 || l > MaxLevels {
+			return nil, fmt.Errorf("core: invalid prefetch level %d", l)
+		}
+		n := pt.NodesFor(l, area.Start, area.End)
+		base, err := src.Reserve(n)
+		if err != nil {
+			return nil, fmt.Errorf("core: reserving %d frames for PL%d of %s: %w", n, l, area, err)
+		}
+		setup.Frames += n
+		setup.Regions = append(setup.Regions, &pt.Region{
+			Level:   l,
+			VAStart: area.Start,
+			VAEnd:   area.End,
+			Base:    base,
+		})
+		setup.Descriptor.Base[l] = base.Addr()
+		setup.Descriptor.Has[l] = true
+	}
+	return setup, nil
+}
+
+// RegionFootprint returns the total bytes of contiguous physical memory ASAP
+// must reserve for the given VMA at the given levels — the paper's "under
+// 200 MB for an application dataset of 100 GB" cost figure (§1, §3.3).
+func RegionFootprint(area *vma.VMA, levels []int) uint64 {
+	var frames uint64
+	for _, l := range levels {
+		frames += pt.NodesFor(l, area.Start, area.End)
+	}
+	return frames * mem.PageSize
+}

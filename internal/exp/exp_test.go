@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// testOptions restricts experiments to the two fastest-building workloads and
+// a tiny measurement protocol so the whole experiment surface is exercised in
+// unit-test time.
+func testOptions(buf *bytes.Buffer) Options {
+	o := Fast(buf)
+	o.Params.WarmupWalks = 1500
+	o.Params.MeasureWalks = 1500
+	var ws []workload.Spec
+	for _, n := range []string{"mcf", "canneal"} {
+		s, ok := workload.ByName(n)
+		if !ok {
+			panic("missing " + n)
+		}
+		ws = append(ws, s)
+	}
+	o.Workloads = ws
+	return o
+}
+
+func TestExperimentsRenderTables(t *testing.T) {
+	sim.ResetBuildCache()
+	cases := []struct {
+		name     string
+		contains []string
+	}{
+		{"table2", []string{"Table 2", "contig. phys. regions", "mcf"}},
+		{"table3", []string{"Table 3", "mcf", "canneal"}},
+		{"table5", []string{"Table 5", "L2 S-TLB", "191 cycles"}},
+		{"fig2", []string{"Figure 2", "virt+colo", "Average"}},
+		{"fig3", []string{"Figure 3", "Average"}},
+		{"fig8", []string{"Figure 8a", "Figure 8b", "P1+P2"}},
+		{"fig11", []string{"Figure 11", "Clustered TLB + ASAP"}},
+		{"table7", []string{"Table 7", "reduction"}},
+		{"ablation-pwc", []string{"doubling page-walk cache"}},
+		{"ablation-5level", []string{"five-level", "5-level ASAP"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			o := testOptions(&buf)
+			if err := Run(c.name, o); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			for _, want := range c.contains {
+				if !strings.Contains(out, want) {
+					t.Fatalf("%s output missing %q:\n%s", c.name, want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentVirtualizedGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("virtualized grid is slow in -short mode")
+	}
+	var buf bytes.Buffer
+	o := testOptions(&buf)
+	o.Workloads = o.Workloads[:1] // mcf only
+	for _, name := range []string{"fig10", "fig12", "table6"} {
+		buf.Reset()
+		if err := Run(name, o); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), "mcf") {
+			t.Fatalf("%s output missing workload row:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig99", testOptions(&buf)); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentsListedUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Experiments() {
+		if seen[e.Name] {
+			t.Fatalf("duplicate experiment %s", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	for _, required := range []string{"table1", "table2", "table6", "table7",
+		"fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12"} {
+		if !seen[required] {
+			t.Fatalf("experiment %s missing — every paper table/figure needs a regeneration target", required)
+		}
+	}
+}

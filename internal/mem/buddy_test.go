@@ -1,0 +1,331 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestBuddyAllocUnique(t *testing.T) {
+	b := NewBuddy(1 << 12)
+	seen := make(map[Frame]bool)
+	for i := 0; i < 1<<12; i++ {
+		f, err := b.AllocPage()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if seen[f] {
+			t.Fatalf("frame %d allocated twice", f)
+		}
+		seen[f] = true
+	}
+	if _, err := b.AllocPage(); err != ErrOutOfMemory {
+		t.Fatalf("expected out of memory, got %v", err)
+	}
+}
+
+func TestBuddyFreeCoalesces(t *testing.T) {
+	b := NewBuddy(1 << 10)
+	var frames []Frame
+	for i := 0; i < 1<<10; i++ {
+		f, err := b.AllocPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	for _, f := range frames {
+		b.Free(f, 0)
+	}
+	if b.InUse() != 0 {
+		t.Fatalf("InUse = %d after freeing everything", b.InUse())
+	}
+	// After full coalescing a max-size block must be allocatable again.
+	if _, err := b.Alloc(10); err != nil {
+		t.Fatalf("cannot allocate order-10 block after coalescing: %v", err)
+	}
+}
+
+func TestBuddyAllocOrderAlignment(t *testing.T) {
+	b := NewBuddy(1 << 14)
+	for order := 0; order <= 8; order++ {
+		f, err := b.Alloc(order)
+		if err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+		if uint64(f)&(blockFrames(order)-1) != 0 {
+			t.Fatalf("order-%d block at %d not aligned", order, f)
+		}
+	}
+}
+
+func TestBuddyAllocAt(t *testing.T) {
+	b := NewBuddy(1 << 10)
+	if err := b.AllocAt(Frame(256), 4); err != nil {
+		t.Fatalf("AllocAt on fresh memory: %v", err)
+	}
+	if err := b.AllocAt(Frame(256), 4); err != ErrNotFree {
+		t.Fatalf("double AllocAt: got %v, want ErrNotFree", err)
+	}
+	// Overlapping block must also be rejected.
+	if err := b.AllocAt(Frame(256), 6); err != ErrNotFree {
+		t.Fatalf("overlapping AllocAt: got %v, want ErrNotFree", err)
+	}
+	// Unaligned requests are invalid.
+	if err := b.AllocAt(Frame(3), 2); err == nil {
+		t.Fatal("unaligned AllocAt succeeded")
+	}
+	// Out of range.
+	if err := b.AllocAt(Frame(1<<10), 0); err != ErrNotFree {
+		t.Fatalf("out-of-range AllocAt: got %v, want ErrNotFree", err)
+	}
+}
+
+func TestBuddyAllocAtThenAllocDisjoint(t *testing.T) {
+	b := NewBuddy(1 << 8)
+	if err := b.AllocAt(Frame(0), 7); err != nil { // lower half
+		t.Fatal(err)
+	}
+	for i := 0; i < 1<<7; i++ {
+		f, err := b.AllocPage()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if f < Frame(1<<7) {
+			t.Fatalf("allocation %d returned frame %d inside reserved range", i, f)
+		}
+	}
+}
+
+func TestBuddyReserveExactRun(t *testing.T) {
+	b := NewBuddy(1 << 12)
+	base, err := b.Reserve(100) // not a power of two
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.InUse() != 100 {
+		t.Fatalf("InUse = %d after Reserve(100)", b.InUse())
+	}
+	// The reserved run must not be handed out again.
+	seen := make(map[Frame]bool)
+	for {
+		f, err := b.AllocPage()
+		if err != nil {
+			break
+		}
+		seen[f] = true
+	}
+	for i := uint64(0); i < 100; i++ {
+		if seen[base+Frame(i)] {
+			t.Fatalf("reserved frame %d re-allocated", base+Frame(i))
+		}
+	}
+}
+
+func TestBuddyReserveStitched(t *testing.T) {
+	// A reservation larger than the max block must still be contiguous.
+	frames := uint64(4) << MaxOrder
+	b := NewBuddy(frames)
+	want := (uint64(2) << MaxOrder) + 5
+	base, err := b.Reserve(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.InUse() != want {
+		t.Fatalf("InUse = %d, want %d", b.InUse(), want)
+	}
+	_ = base
+}
+
+func TestBuddyReserveTooLarge(t *testing.T) {
+	b := NewBuddy(1 << 8)
+	if _, err := b.Reserve(1 << 9); err == nil {
+		t.Fatal("oversized Reserve succeeded")
+	}
+	if b.InUse() != 0 {
+		t.Fatalf("failed Reserve leaked %d frames", b.InUse())
+	}
+}
+
+func TestBuddyScattersAfterChurn(t *testing.T) {
+	// After a random allocation/free history, sequential allocations should
+	// no longer be contiguous — this is the property that motivates ASAP's
+	// reserved regions.
+	b := NewBuddy(1 << 14)
+	s := rng.New(42)
+	var live []Frame
+	for i := 0; i < 20000; i++ {
+		if len(live) > 0 && s.Bool(0.5) {
+			k := s.Intn(len(live))
+			b.Free(live[k], 0)
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		} else {
+			f, err := b.AllocPage()
+			if err != nil {
+				continue
+			}
+			live = append(live, f)
+		}
+	}
+	var run []Frame
+	for i := 0; i < 256; i++ {
+		f, err := b.AllocPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		run = append(run, f)
+	}
+	if runs := ContiguousRuns(run); runs < 8 {
+		t.Fatalf("post-churn allocations formed only %d runs; buddy model too contiguous", runs)
+	}
+}
+
+func TestBuddyPropertyAllocFreeBalance(t *testing.T) {
+	f := func(seed uint64, ops []byte) bool {
+		b := NewBuddy(1 << 10)
+		s := rng.New(seed)
+		type blk struct {
+			f     Frame
+			order int
+		}
+		var live []blk
+		for _, op := range ops {
+			if op%2 == 0 || len(live) == 0 {
+				order := int(op>>1) % 4
+				fr, err := b.Alloc(order)
+				if err != nil {
+					continue
+				}
+				live = append(live, blk{fr, order})
+			} else {
+				k := s.Intn(len(live))
+				b.Free(live[k].f, live[k].order)
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		var inUse uint64
+		for _, l := range live {
+			inUse += blockFrames(l.order)
+		}
+		return b.InUse() == inUse
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuddyPropertyNoOverlap(t *testing.T) {
+	f := func(orders []byte) bool {
+		b := NewBuddy(1 << 12)
+		used := make(map[Frame]bool)
+		for _, o := range orders {
+			order := int(o) % 5
+			fr, err := b.Alloc(order)
+			if err != nil {
+				continue
+			}
+			for i := uint64(0); i < blockFrames(order); i++ {
+				if used[fr+Frame(i)] {
+					return false
+				}
+				used[fr+Frame(i)] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContiguousRuns(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Frame
+		want int
+	}{
+		{"empty", nil, 0},
+		{"single", []Frame{5}, 1},
+		{"one run", []Frame{3, 4, 5, 6}, 1},
+		{"unsorted one run", []Frame{6, 4, 3, 5}, 1},
+		{"two runs", []Frame{1, 2, 10, 11}, 2},
+		{"all scattered", []Frame{1, 3, 5, 7}, 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := ContiguousRuns(c.in); got != c.want {
+				t.Fatalf("ContiguousRuns(%v) = %d, want %d", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestScatterUniqueAndSpread(t *testing.T) {
+	s := NewScatter(Frame(1000), 1<<16, 9)
+	seen := make(map[Frame]bool)
+	var fs []Frame
+	for i := 0; i < 4096; i++ {
+		f := s.Alloc()
+		if f < 1000 || f >= Frame(1000+1<<16) {
+			t.Fatalf("frame %d outside scatter span", f)
+		}
+		if seen[f] {
+			t.Fatalf("frame %d allocated twice", f)
+		}
+		seen[f] = true
+		fs = append(fs, f)
+	}
+	if runs := ContiguousRuns(fs); runs < 2048 {
+		t.Fatalf("scatter allocations formed only %d runs of 4096; not scattered", runs)
+	}
+}
+
+func TestBumpSequential(t *testing.T) {
+	b := NewBump(Frame(10), 3)
+	for i := 0; i < 3; i++ {
+		if f := b.Alloc(); f != Frame(10+i) {
+			t.Fatalf("bump alloc %d = %d", i, f)
+		}
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", b.Remaining())
+	}
+	assertPanics(t, "bump exhausted", func() { b.Alloc() })
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	if Frame(2).Addr() != PhysAddr(2*PageSize) {
+		t.Fatal("Frame.Addr")
+	}
+	if PhysAddr(PageSize+5).Frame() != 1 {
+		t.Fatal("PhysAddr.Frame")
+	}
+	if VirtAddr(3*PageSize+7).VPN() != 3 {
+		t.Fatal("VirtAddr.VPN")
+	}
+	if VirtAddr(3*PageSize+7).PageOffset() != 7 {
+		t.Fatal("VirtAddr.PageOffset")
+	}
+	if FromVPN(9) != VirtAddr(9*PageSize) {
+		t.Fatal("FromVPN")
+	}
+	if PagesFor(1) != 1 || PagesFor(PageSize) != 1 || PagesFor(PageSize+1) != 2 {
+		t.Fatal("PagesFor")
+	}
+	if PhysAddr(128).Line() != 2 {
+		t.Fatal("PhysAddr.Line")
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,71 @@
+// Package mem models physical memory for the address-translation simulator:
+// address and frame types, page/cache-line geometry, a Linux-style buddy
+// allocator (used to place page-table pages in the baseline system), a
+// deterministic scatter allocator (the paper's "randomly scattered PT pages"
+// host baseline), and contiguous region reservations (the OS-side support
+// ASAP needs for sorted page-table levels).
+package mem
+
+// Fundamental geometry of the simulated machine. These mirror x86-64 with
+// 4 KB base pages and 64-byte cache lines.
+const (
+	PageShift = 12                    // log2 of the base page size
+	PageSize  = 1 << PageShift        // base page size in bytes
+	LineShift = 6                     // log2 of the cache line size
+	LineBytes = 1 << LineShift        // cache line size in bytes
+	PTEBytes  = 8                     // size of a page-table entry
+	NodeShift = 9                     // log2 of entries per page-table node
+	NodeSpan  = 1 << NodeShift        // entries per page-table node (512)
+	HugeShift = PageShift + NodeShift // log2 of a 2 MB large page
+	HugeSize  = 1 << HugeShift        // 2 MB large page size
+)
+
+// PhysAddr is a byte address in physical (machine) memory.
+type PhysAddr uint64
+
+// Frame is a physical page frame number (PhysAddr >> PageShift).
+type Frame uint64
+
+// VirtAddr is a byte address in some virtual (or guest-physical) address
+// space.
+type VirtAddr uint64
+
+// Addr returns the physical byte address of the start of the frame.
+func (f Frame) Addr() PhysAddr { return PhysAddr(f) << PageShift }
+
+// Frame returns the frame containing the physical address.
+func (a PhysAddr) Frame() Frame { return Frame(a >> PageShift) }
+
+// Line returns the cache-line index of the physical address.
+func (a PhysAddr) Line() uint64 { return uint64(a) >> LineShift }
+
+// VPN returns the virtual page number of the address.
+func (v VirtAddr) VPN() uint64 { return uint64(v) >> PageShift }
+
+// PageOffset returns the offset of the address within its page.
+func (v VirtAddr) PageOffset() uint64 { return uint64(v) & (PageSize - 1) }
+
+// FromVPN returns the virtual address of the start of the page vpn.
+func FromVPN(vpn uint64) VirtAddr { return VirtAddr(vpn << PageShift) }
+
+// PagesFor returns the number of base pages needed to hold bytes.
+func PagesFor(bytes uint64) uint64 {
+	return (bytes + PageSize - 1) / PageSize
+}
+
+// GiB, MiB and KiB are convenience sizes for workload and machine
+// configuration.
+const (
+	KiB = uint64(1) << 10
+	MiB = uint64(1) << 20
+	GiB = uint64(1) << 30
+)
+
+// NextPow2 returns the smallest power of two ≥ n (and 1 for n == 0).
+func NextPow2(n uint64) uint64 {
+	p := uint64(1)
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

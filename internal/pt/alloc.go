@@ -1,0 +1,189 @@
+package pt
+
+import (
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// ScatterAlloc places page-table nodes at pseudo-randomly scattered frames —
+// the paper's baseline model of a buddy-allocated page table ("randomly
+// scattering the PT pages across the host physical memory", §4). It is the
+// fast stand-in for BuddyAlloc when only cache behaviour matters.
+type ScatterAlloc struct {
+	s *mem.Scatter
+}
+
+// NewScatterAlloc returns a scatter placement over span frames at base.
+func NewScatterAlloc(base mem.Frame, span, seed uint64) *ScatterAlloc {
+	return &ScatterAlloc{s: mem.NewScatter(base, span, seed)}
+}
+
+// AllocPTFrame implements Allocator.
+func (a *ScatterAlloc) AllocPTFrame(level int, firstVA mem.VirtAddr) mem.Frame {
+	return a.s.Alloc()
+}
+
+// BuddyAlloc places page-table nodes with a real buddy allocator, modelling
+// the lazy-touch allocation history of a running process: most node
+// allocations extend a short contiguous run (page faults arriving in bursts
+// reuse adjacent buddy blocks), and runs break when interleaved data-page
+// allocations consume the neighbourhood. MeanRunLen controls the expected
+// run length and therefore Table 2's "contiguous physical regions" count
+// (regions ≈ nodes / MeanRunLen).
+type BuddyAlloc struct {
+	B           *mem.Buddy
+	MeanRunLen  float64 // expected contiguous PT-page run length (≥ 1)
+	DataPerNode int     // order-9 data blocks consumed at each run break
+	rng         *rng.Stream
+	prev        mem.Frame
+	havePrev    bool
+	pool        []mem.Frame // live order-9 data blocks available to churn
+}
+
+// NewBuddyAlloc returns a buddy placement drawing run-break decisions from
+// seed.
+func NewBuddyAlloc(b *mem.Buddy, meanRunLen float64, dataPerNode int, seed uint64) *BuddyAlloc {
+	if meanRunLen < 1 {
+		meanRunLen = 1
+	}
+	return &BuddyAlloc{B: b, MeanRunLen: meanRunLen, DataPerNode: dataPerNode, rng: rng.New(seed)}
+}
+
+// AllocPTFrame implements Allocator.
+func (a *BuddyAlloc) AllocPTFrame(level int, firstVA mem.VirtAddr) mem.Frame {
+	if a.havePrev && !a.rng.Bool(1/a.MeanRunLen) {
+		// Continue the current run if the adjacent frame is free.
+		next := a.prev + 1
+		if err := a.B.AllocAt(next, 0); err == nil {
+			a.prev = next
+			return next
+		}
+	}
+	// Run break. First consume the data-page allocations that arrived since
+	// the last page-table page, then model ambient churn: a previously
+	// allocated data block is freed elsewhere in memory, so the LIFO free
+	// list hands the next page out at an unrelated address — this is exactly
+	// the behaviour that scatters page-table pages on a live system.
+	for i := 0; i < a.DataPerNode; i++ {
+		f, err := a.B.Alloc(mem.NodeShift)
+		if err != nil {
+			break
+		}
+		a.pool = append(a.pool, f)
+	}
+	if len(a.pool) > 1 {
+		k := a.rng.Intn(len(a.pool))
+		freed := a.pool[k]
+		a.B.Free(freed, mem.NodeShift)
+		a.pool[k] = a.pool[len(a.pool)-1]
+		a.pool = a.pool[:len(a.pool)-1]
+		if err := a.B.AllocAt(freed, 0); err == nil {
+			a.prev = freed
+			a.havePrev = true
+			return freed
+		}
+	}
+	f, err := a.B.AllocPage()
+	if err != nil {
+		panic("pt: buddy allocator exhausted placing page-table node")
+	}
+	a.prev = f
+	a.havePrev = true
+	return f
+}
+
+// Region is a contiguous, virtually sorted physical region holding all the
+// page-table nodes of one level for one VMA — the OS-side structure ASAP
+// introduces (paper §3.3). Node k of the level (counting spans from VAStart's
+// span) lives at frame Base+k.
+type Region struct {
+	Level   int
+	VAStart mem.VirtAddr // start of the covered VA range (span-aligned down)
+	VAEnd   mem.VirtAddr
+	Base    mem.Frame
+}
+
+// NodesFor returns how many level-`level` nodes are needed to cover the VMA
+// [start, end).
+func NodesFor(level int, start, end mem.VirtAddr) uint64 {
+	span := uint64(1) << SpanShift(level)
+	first := uint64(start) &^ (span - 1)
+	last := (uint64(end) - 1) &^ (span - 1)
+	return (last-first)/span + 1
+}
+
+// FrameFor returns the region frame backing the node that covers va.
+func (r *Region) FrameFor(va mem.VirtAddr) mem.Frame {
+	span := uint64(1) << SpanShift(r.Level)
+	first := uint64(r.VAStart) &^ (span - 1)
+	return r.Base + mem.Frame((uint64(va)-first)/span)
+}
+
+// Contains reports whether va falls in a node span covered by the region.
+// The first node's span is aligned down from VAStart, so addresses slightly
+// below VAStart (within that first span) are still covered.
+func (r *Region) Contains(va mem.VirtAddr) bool {
+	span := uint64(1) << SpanShift(r.Level)
+	first := mem.VirtAddr(uint64(r.VAStart) &^ (span - 1))
+	return va >= first && va < r.VAEnd
+}
+
+// SortedAlloc implements ASAP's placement policy: nodes of registered
+// (VMA, level) pairs go to their slot in the corresponding sorted region;
+// everything else (and a configurable fraction of "holes", §3.7.2) falls back
+// to a scattered allocation. Holes model pinned pages that prevented the OS
+// from keeping the region contiguous; walks through them are correct but not
+// accelerated.
+type SortedAlloc struct {
+	Regions  []*Region
+	Fallback Allocator
+	HoleProb float64
+	rng      *rng.Stream
+	holes    map[holeKey]bool
+	holeN    uint64
+}
+
+type holeKey struct {
+	level int
+	va    mem.VirtAddr
+}
+
+// NewSortedAlloc returns an ASAP placement with the given per-node hole
+// probability, falling back to fallback for unregistered nodes and holes.
+func NewSortedAlloc(fallback Allocator, holeProb float64, seed uint64) *SortedAlloc {
+	return &SortedAlloc{
+		Fallback: fallback,
+		HoleProb: holeProb,
+		rng:      rng.New(seed),
+		holes:    make(map[holeKey]bool),
+	}
+}
+
+// AddRegion registers a sorted region.
+func (a *SortedAlloc) AddRegion(r *Region) { a.Regions = append(a.Regions, r) }
+
+// AllocPTFrame implements Allocator.
+func (a *SortedAlloc) AllocPTFrame(level int, firstVA mem.VirtAddr) mem.Frame {
+	for _, r := range a.Regions {
+		if r.Level != level || !r.Contains(firstVA) {
+			continue
+		}
+		if a.HoleProb > 0 && a.rng.Bool(a.HoleProb) {
+			a.holes[holeKey{level, firstVA}] = true
+			a.holeN++
+			return a.Fallback.AllocPTFrame(level, firstVA)
+		}
+		return r.FrameFor(firstVA)
+	}
+	return a.Fallback.AllocPTFrame(level, firstVA)
+}
+
+// IsHole reports whether the node at level covering va was displaced from its
+// region slot.
+func (a *SortedAlloc) IsHole(level int, va mem.VirtAddr) bool {
+	span := uint64(1) << SpanShift(level)
+	return a.holes[holeKey{level, mem.VirtAddr(uint64(va) &^ (span - 1))}]
+}
+
+// Holes returns the number of displaced nodes.
+func (a *SortedAlloc) Holes() uint64 { return a.holeN }

@@ -1,0 +1,149 @@
+package pt
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestNodesFor(t *testing.T) {
+	cases := []struct {
+		level      int
+		start, end uint64 // in pages
+		want       uint64
+	}{
+		{1, 0, 512, 1},
+		{1, 0, 513, 2},
+		{1, 511, 513, 2}, // straddles a node boundary
+		{1, 512, 1024, 1},
+		{2, 0, 512 * 512, 1},
+		{2, 0, 512*512 + 1, 2},
+	}
+	for _, c := range cases {
+		got := NodesFor(c.level, mem.FromVPN(c.start), mem.FromVPN(c.end))
+		if got != c.want {
+			t.Errorf("NodesFor(%d, %d, %d pages) = %d, want %d", c.level, c.start, c.end, got, c.want)
+		}
+	}
+}
+
+func TestSortedAllocPlacesNodesSorted(t *testing.T) {
+	// The defining ASAP property (paper footnote 1): if VPN X < VPN Y then
+	// the PT node for X sits at a lower physical address than the node for Y.
+	fallback := NewScatterAlloc(1<<30, 1<<20, 2)
+	a := NewSortedAlloc(fallback, 0, 3)
+	start, end := mem.FromVPN(0), mem.FromVPN(64*mem.NodeSpan)
+	a.AddRegion(&Region{Level: 1, VAStart: start, VAEnd: end, Base: 1000})
+	tbl, err := New(Config{Levels: 4, LeafLevel: 1}, a, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.PopulateRange(start, end)
+	frames := tbl.FramesAt(1)
+	if len(frames) != 64 {
+		t.Fatalf("PL1 nodes = %d", len(frames))
+	}
+	for i := 1; i < len(frames); i++ {
+		if frames[i] != frames[i-1]+1 {
+			t.Fatalf("PL1 frames not contiguous/sorted at %d: %v", i, frames[:i+1])
+		}
+	}
+	if frames[0] != 1000 {
+		t.Fatalf("first PL1 frame = %d, want region base 1000", frames[0])
+	}
+	if mem.ContiguousRuns(frames) != 1 {
+		t.Fatal("sorted region not a single contiguous run")
+	}
+}
+
+func TestSortedAllocRegionOffsets(t *testing.T) {
+	// A region whose VMA does not start at a node boundary still maps
+	// via span-aligned arithmetic.
+	r := &Region{Level: 1, VAStart: mem.FromVPN(100), VAEnd: mem.FromVPN(100 + 2*mem.NodeSpan), Base: 500}
+	if f := r.FrameFor(mem.FromVPN(100)); f != 500 {
+		t.Fatalf("FrameFor(start) = %d", f)
+	}
+	// VPN 512 is in the second node span (first span is [0,512) aligned).
+	if f := r.FrameFor(mem.FromVPN(512)); f != 501 {
+		t.Fatalf("FrameFor(second span) = %d", f)
+	}
+}
+
+func TestSortedAllocFallbackOutsideRegions(t *testing.T) {
+	fallback := NewScatterAlloc(1<<30, 1<<20, 4)
+	a := NewSortedAlloc(fallback, 0, 5)
+	a.AddRegion(&Region{Level: 1, VAStart: 0, VAEnd: mem.FromVPN(mem.NodeSpan), Base: 77})
+	// Wrong level: falls back.
+	if f := a.AllocPTFrame(2, 0); f < 1<<30 {
+		t.Fatalf("level-2 node landed in region: %d", f)
+	}
+	// Outside the VA range: falls back.
+	if f := a.AllocPTFrame(1, mem.FromVPN(10*mem.NodeSpan)); f < 1<<30 {
+		t.Fatalf("out-of-range node landed in region: %d", f)
+	}
+	// In range: placed at the region slot.
+	if f := a.AllocPTFrame(1, 0); f != 77 {
+		t.Fatalf("in-range node at %d, want 77", f)
+	}
+}
+
+func TestSortedAllocHoles(t *testing.T) {
+	fallback := NewScatterAlloc(1<<30, 1<<20, 6)
+	a := NewSortedAlloc(fallback, 1.0, 7) // every node is a hole
+	a.AddRegion(&Region{Level: 1, VAStart: 0, VAEnd: mem.FromVPN(8 * mem.NodeSpan), Base: 0})
+	tbl, err := New(Config{Levels: 4, LeafLevel: 1}, a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.PopulateRange(0, mem.FromVPN(8*mem.NodeSpan))
+	if a.Holes() != 8 {
+		t.Fatalf("holes = %d, want 8", a.Holes())
+	}
+	for vpn := uint64(0); vpn < 8*mem.NodeSpan; vpn += mem.NodeSpan {
+		if !a.IsHole(1, mem.FromVPN(vpn)) {
+			t.Fatalf("node at vpn %d not marked as hole", vpn)
+		}
+		// Any address within the span reports the hole too.
+		if !a.IsHole(1, mem.FromVPN(vpn+3)) {
+			t.Fatalf("hole lookup not span-aligned for vpn %d", vpn+3)
+		}
+	}
+}
+
+func TestBuddyAllocRunsAndInterleave(t *testing.T) {
+	b := mem.NewBuddy(1 << 20)
+	a := NewBuddyAlloc(b, 8, 1, 11)
+	tbl, err := New(Config{Levels: 4, LeafLevel: 1}, a, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.PopulateRange(0, mem.VirtAddr(mem.GiB)) // 512 PL1 nodes
+	frames := tbl.FramesAt(1)
+	runs := mem.ContiguousRuns(frames)
+	// MeanRunLen 8 => roughly 512/8 = 64 runs; allow wide slack but require
+	// "some contiguity, not fully contiguous, not fully scattered".
+	if runs < 16 || runs > 256 {
+		t.Fatalf("buddy placement produced %d runs of 512 nodes; expected run-structured placement", runs)
+	}
+	// Frames must be unique.
+	seen := map[mem.Frame]bool{}
+	for _, f := range tbl.AllFrames() {
+		if seen[f] {
+			t.Fatalf("frame %d used twice", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestScatterAllocScatters(t *testing.T) {
+	a := NewScatterAlloc(0, 1<<20, 12)
+	tbl, err := New(Config{Levels: 4, LeafLevel: 1}, a, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.PopulateRange(0, mem.VirtAddr(256*mem.MiB)) // 128 PL1 nodes
+	runs := mem.ContiguousRuns(tbl.FramesAt(1))
+	if runs < 100 {
+		t.Fatalf("scatter placement produced only %d runs of 128 nodes", runs)
+	}
+}

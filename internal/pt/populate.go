@@ -1,0 +1,106 @@
+package pt
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// PopulateRange marks every page in [start, end) present, creating the node
+// path. Fully covered leaf nodes are marked full without a bitmap, so dense
+// population costs time and memory proportional to the node count, not the
+// page count. start and end must be page aligned with start < end.
+func (t *Table) PopulateRange(start, end mem.VirtAddr) {
+	if start.PageOffset() != 0 || end.PageOffset() != 0 || start >= end {
+		panic(fmt.Sprintf("pt: invalid populate range [%#x, %#x)", uint64(start), uint64(end)))
+	}
+	leafSpan := uint64(1) << SpanShift(t.cfg.LeafLevel)
+	pageShift := SpanShift(t.cfg.LeafLevel - 1)
+	for va := uint64(start); va < uint64(end); {
+		nodeStart := va &^ (leafSpan - 1)
+		nodeEnd := nodeStart + leafSpan
+		leaf := t.ensureNode(mem.VirtAddr(va), t.cfg.LeafLevel)
+		if va == nodeStart && nodeEnd <= uint64(end) {
+			leaf.full = true
+			leaf.present = nil
+			va = nodeEnd
+			continue
+		}
+		if leaf.present == nil && !leaf.full {
+			leaf.present = new([8]uint64)
+		}
+		stop := nodeEnd
+		if uint64(end) < stop {
+			stop = uint64(end)
+		}
+		if !leaf.full {
+			for p := va; p < stop; p += 1 << pageShift {
+				bitSet(leaf.present, indexAt(mem.VirtAddr(p), t.cfg.LeafLevel))
+			}
+		}
+		va = stop
+	}
+}
+
+// SpreadVPN returns the virtual page number of the i-th resident page when
+// resident pages are spread evenly over total pages starting at startVPN.
+// This Bresenham-style mapping is shared between population (here) and the
+// workload generators, guaranteeing they agree on which pages exist.
+func SpreadVPN(startVPN, total, resident, i uint64) uint64 {
+	if i >= resident || resident > total {
+		panic("pt: SpreadVPN index out of range")
+	}
+	return startVPN + i*total/resident
+}
+
+// SpreadIndex inverts SpreadVPN: given a page offset (in pages from the range
+// start), it returns the resident index mapping there, or false if the spread
+// leaves that page unmapped.
+func SpreadIndex(total, resident, offset uint64) (uint64, bool) {
+	if offset >= total || resident == 0 || resident > total {
+		return 0, false
+	}
+	i := (offset*resident + total - 1) / total
+	if i < resident && i*total/resident == offset {
+		return i, true
+	}
+	return 0, false
+}
+
+// PopulateSpread marks resident pages present, spread evenly over the total
+// pages beginning at start. It visits each leaf node once and sets presence
+// bits in bulk, so the cost is O(resident + nodes).
+func (t *Table) PopulateSpread(start mem.VirtAddr, total, resident uint64) {
+	if resident == 0 || resident > total {
+		panic(fmt.Sprintf("pt: invalid spread %d of %d", resident, total))
+	}
+	if t.cfg.LeafLevel != 1 {
+		panic("pt: PopulateSpread requires 4 KB leaf level")
+	}
+	if resident == total {
+		t.PopulateRange(start, start+mem.VirtAddr(total*mem.PageSize))
+		return
+	}
+	startVPN := start.VPN()
+	// Resident page i lives at VPN startVPN + i*total/resident. Iterate leaf
+	// nodes; for each, find the i-range landing inside it.
+	i := uint64(0)
+	for i < resident {
+		vpn := startVPN + i*total/resident
+		nodeFirst := vpn &^ (mem.NodeSpan - 1)
+		leaf := t.ensureNode(mem.FromVPN(vpn), 1)
+		if leaf.present == nil && !leaf.full {
+			leaf.present = new([8]uint64)
+		}
+		nodeLimit := nodeFirst + mem.NodeSpan
+		for ; i < resident; i++ {
+			v := startVPN + i*total/resident
+			if v >= nodeLimit {
+				break
+			}
+			if !leaf.full {
+				bitSet(leaf.present, int(v&(mem.NodeSpan-1)))
+			}
+		}
+	}
+}

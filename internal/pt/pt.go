@@ -1,0 +1,246 @@
+// Package pt implements the x86-64 radix-tree page table that the paper's
+// page walks traverse: 4-level (48-bit VA) and 5-level (57-bit VA) trees with
+// 512-entry nodes, 8-byte PTEs, lazy and bulk population, 2 MB large pages,
+// and pluggable placement of page-table node frames in physical memory.
+//
+// Placement is the heart of the reproduction: the baseline system scatters
+// page-table pages across physical memory (as the Linux buddy allocator
+// does), while ASAP's modified OS lays the PL1/PL2 node pages of each
+// registered VMA out contiguously and sorted by virtual address, enabling
+// base-plus-offset prefetch (paper §3.3). Both policies implement Allocator.
+package pt
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Config selects the tree geometry.
+type Config struct {
+	// Levels is the depth of the radix tree: 4 (today's x86-64) or 5 (the
+	// 57-bit extension of paper §2.6/§3.5).
+	Levels int
+	// LeafLevel is the level whose entries map pages: 1 for 4 KB pages, 2
+	// when the whole table uses 2 MB pages (e.g. a hypervisor EPT, Fig 12).
+	LeafLevel int
+}
+
+// Validate reports whether the configuration is supported.
+func (c Config) Validate() error {
+	if c.Levels != 4 && c.Levels != 5 {
+		return fmt.Errorf("pt: unsupported depth %d", c.Levels)
+	}
+	if c.LeafLevel != 1 && c.LeafLevel != 2 {
+		return fmt.Errorf("pt: unsupported leaf level %d", c.LeafLevel)
+	}
+	return nil
+}
+
+// SpanShift returns log2 of the VA bytes covered by a single node at level.
+// A PL1 node covers 2 MB (shift 21), a PL2 node 1 GB (shift 30), and so on.
+func SpanShift(level int) uint {
+	return uint(mem.PageShift + mem.NodeShift*level)
+}
+
+// indexAt returns the 9-bit radix index of va at the given level.
+func indexAt(va mem.VirtAddr, level int) int {
+	return int(uint64(va) >> (mem.PageShift + mem.NodeShift*uint(level-1)) & (mem.NodeSpan - 1))
+}
+
+// Allocator supplies physical frames for new page-table nodes. firstVA is the
+// start of the VA span the node covers, which sorted-region allocators use to
+// compute the node's slot.
+type Allocator interface {
+	AllocPTFrame(level int, firstVA mem.VirtAddr) mem.Frame
+}
+
+// node is one page of the radix tree.
+type node struct {
+	level    int8
+	full     bool             // leaf node: all 512 entries present
+	frame    mem.Frame        // physical page backing this node
+	children map[uint16]*node // interior nodes only
+	present  *[8]uint64       // leaf node partial presence bitmap
+	huge     *[8]uint64       // level-2 entries that map 2 MB pages directly
+}
+
+func bitGet(b *[8]uint64, i int) bool { return b[i>>6]>>(uint(i)&63)&1 == 1 }
+func bitSet(b *[8]uint64, i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Table is a radix-tree page table.
+type Table struct {
+	cfg       Config
+	alloc     Allocator
+	root      *node
+	nodeCount [6]uint64
+	frames    [6][]mem.Frame
+	keepStats bool
+}
+
+// New returns an empty table. If keepStats is true the table records the
+// frame of every node per level for Table 2 statistics (costs memory
+// proportional to the node count).
+func New(cfg Config, alloc Allocator, keepStats bool) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{cfg: cfg, alloc: alloc, keepStats: keepStats}
+	t.root = t.newNode(cfg.Levels, 0)
+	return t, nil
+}
+
+// Config returns the tree geometry.
+func (t *Table) Config() Config { return t.cfg }
+
+// newNode allocates a node page at level covering the span beginning at
+// firstVA.
+func (t *Table) newNode(level int, firstVA mem.VirtAddr) *node {
+	n := &node{level: int8(level), frame: t.alloc.AllocPTFrame(level, firstVA)}
+	if level > t.cfg.LeafLevel {
+		n.children = make(map[uint16]*node)
+	}
+	t.nodeCount[level]++
+	if t.keepStats {
+		t.frames[level] = append(t.frames[level], n.frame)
+	}
+	return n
+}
+
+// ensureNode returns the node at the given level on va's path, creating
+// missing interior nodes.
+func (t *Table) ensureNode(va mem.VirtAddr, level int) *node {
+	n := t.root
+	for l := t.cfg.Levels; l > level; l-- {
+		idx := uint16(indexAt(va, l))
+		child := n.children[idx]
+		if child == nil {
+			span := mem.VirtAddr(uint64(va) &^ (uint64(1)<<SpanShift(l-1) - 1))
+			child = t.newNode(l-1, span)
+			n.children[idx] = child
+		}
+		n = child
+	}
+	return n
+}
+
+// EnsurePage marks the page containing va present, creating the node path.
+func (t *Table) EnsurePage(va mem.VirtAddr) {
+	leaf := t.ensureNode(va, t.cfg.LeafLevel)
+	if leaf.full {
+		return
+	}
+	if leaf.present == nil {
+		leaf.present = new([8]uint64)
+	}
+	bitSet(leaf.present, indexAt(va, t.cfg.LeafLevel))
+}
+
+// EnsureHuge maps the 2 MB page containing va with a level-2 large-page
+// entry. Valid only on 4 KB-leaf tables (mixing sizes as §3.5 describes).
+func (t *Table) EnsureHuge(va mem.VirtAddr) {
+	if t.cfg.LeafLevel != 1 {
+		panic("pt: EnsureHuge on a table whose leaf level is already 2")
+	}
+	n := t.ensureNode(va, 2)
+	if n.huge == nil {
+		n.huge = new([8]uint64)
+	}
+	bitSet(n.huge, indexAt(va, 2))
+}
+
+// Present reports whether va is mapped (by a base page or a large page).
+func (t *Table) Present(va mem.VirtAddr) bool {
+	r := t.Walk(va)
+	return r.Present
+}
+
+// EntryRef identifies one page-walk access: the PT level and the physical
+// address of the 8-byte entry read at that level.
+type EntryRef struct {
+	Level     int
+	EntryAddr mem.PhysAddr
+}
+
+// WalkResult describes the accesses a hardware walk of va performs, from the
+// root level down to the terminal entry.
+type WalkResult struct {
+	Entries   [5]EntryRef // Entries[:N], root level first
+	N         int
+	Present   bool // terminal entry maps a page
+	Huge      bool // terminal entry is a 2 MB large-page mapping
+	TermLevel int  // level of the terminal entry
+}
+
+// Walk simulates the radix traversal for va. Every entry the hardware walker
+// would read is reported, including the final not-present entry on a fault
+// (paper §3.7.1: walks that fault still perform their accesses).
+func (t *Table) Walk(va mem.VirtAddr) WalkResult {
+	var r WalkResult
+	n := t.root
+	for l := t.cfg.Levels; ; l-- {
+		idx := indexAt(va, l)
+		r.Entries[r.N] = EntryRef{Level: l, EntryAddr: n.frame.Addr() + mem.PhysAddr(idx*mem.PTEBytes)}
+		r.N++
+		r.TermLevel = l
+		if l == t.cfg.LeafLevel {
+			r.Present = n.full || (n.present != nil && bitGet(n.present, idx))
+			r.Huge = t.cfg.LeafLevel == 2
+			return r
+		}
+		if l == 2 && n.huge != nil && bitGet(n.huge, idx) {
+			r.Present = true
+			r.Huge = true
+			return r
+		}
+		child := n.children[uint16(idx)]
+		if child == nil {
+			return r // fault: entry read, found not present
+		}
+		n = child
+	}
+}
+
+// EntryAddr returns the physical address of the entry at the given level on
+// va's existing path, or false if the path does not reach that level.
+func (t *Table) EntryAddr(va mem.VirtAddr, level int) (mem.PhysAddr, bool) {
+	n := t.root
+	for l := t.cfg.Levels; l >= level; l-- {
+		idx := indexAt(va, l)
+		if l == level {
+			return n.frame.Addr() + mem.PhysAddr(idx*mem.PTEBytes), true
+		}
+		child := n.children[uint16(idx)]
+		if child == nil {
+			return 0, false
+		}
+		n = child
+	}
+	return 0, false
+}
+
+// NodeCount returns the number of node pages at level.
+func (t *Table) NodeCount(level int) uint64 { return t.nodeCount[level] }
+
+// TotalNodes returns the total page count of the table — Table 2's "PT page
+// count" statistic.
+func (t *Table) TotalNodes() uint64 {
+	var total uint64
+	for _, c := range t.nodeCount {
+		total += c
+	}
+	return total
+}
+
+// FramesAt returns the recorded node frames at level (empty unless the table
+// was created with keepStats).
+func (t *Table) FramesAt(level int) []mem.Frame { return t.frames[level] }
+
+// AllFrames returns the recorded frames of every node in the table.
+func (t *Table) AllFrames() []mem.Frame {
+	var all []mem.Frame
+	for _, fs := range t.frames {
+		all = append(all, fs...)
+	}
+	return all
+}

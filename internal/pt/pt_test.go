@@ -1,0 +1,273 @@
+package pt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func newScatterTable(t *testing.T, cfg Config) *Table {
+	t.Helper()
+	tbl, err := New(cfg, NewScatterAlloc(0, 1<<24, 1), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestWalkDepth(t *testing.T) {
+	for _, levels := range []int{4, 5} {
+		tbl := newScatterTable(t, Config{Levels: levels, LeafLevel: 1})
+		va := mem.VirtAddr(123 * mem.PageSize)
+		tbl.EnsurePage(va)
+		r := tbl.Walk(va)
+		if r.N != levels {
+			t.Fatalf("levels=%d: walk performed %d accesses", levels, r.N)
+		}
+		if !r.Present {
+			t.Fatalf("levels=%d: mapped page reported absent", levels)
+		}
+		if r.Entries[0].Level != levels || r.Entries[r.N-1].Level != 1 {
+			t.Fatalf("levels=%d: walk order %v", levels, r.Entries[:r.N])
+		}
+		if r.TermLevel != 1 || r.Huge {
+			t.Fatalf("levels=%d: TermLevel=%d Huge=%v", levels, r.TermLevel, r.Huge)
+		}
+	}
+}
+
+func TestWalkFaultDepth(t *testing.T) {
+	tbl := newScatterTable(t, Config{Levels: 4, LeafLevel: 1})
+	// Nothing mapped: the walk reads the root entry, finds it absent.
+	r := tbl.Walk(mem.VirtAddr(42 * mem.PageSize))
+	if r.Present || r.N != 1 || r.TermLevel != 4 {
+		t.Fatalf("fresh-table walk: %+v", r)
+	}
+	// Map a page; an unmapped sibling under the same PL1 node faults at PL1.
+	tbl.EnsurePage(0)
+	r = tbl.Walk(mem.VirtAddr(5 * mem.PageSize))
+	if r.Present || r.N != 4 || r.TermLevel != 1 {
+		t.Fatalf("sibling fault walk: %+v", r)
+	}
+	// An unmapped address under a different PL2 entry faults at PL2.
+	r = tbl.Walk(mem.VirtAddr(uint64(1) << SpanShift(1)))
+	if r.Present || r.TermLevel != 2 {
+		t.Fatalf("pl2 fault walk: %+v", r)
+	}
+}
+
+func TestEntryAddrsDistinctPerLevel(t *testing.T) {
+	tbl := newScatterTable(t, Config{Levels: 4, LeafLevel: 1})
+	va := mem.VirtAddr(77 * mem.PageSize)
+	tbl.EnsurePage(va)
+	r := tbl.Walk(va)
+	seen := map[mem.PhysAddr]bool{}
+	for _, e := range r.Entries[:r.N] {
+		if seen[e.EntryAddr] {
+			t.Fatalf("duplicate entry address %#x", uint64(e.EntryAddr))
+		}
+		seen[e.EntryAddr] = true
+	}
+}
+
+func TestEntryAddr(t *testing.T) {
+	tbl := newScatterTable(t, Config{Levels: 4, LeafLevel: 1})
+	va := mem.VirtAddr(3 << SpanShift(1)) // start of the 4th PL1 node span
+	tbl.EnsurePage(va)
+	r := tbl.Walk(va)
+	for _, e := range r.Entries[:r.N] {
+		got, ok := tbl.EntryAddr(va, e.Level)
+		if !ok || got != e.EntryAddr {
+			t.Fatalf("EntryAddr(level %d) = %#x,%v; walk saw %#x", e.Level, uint64(got), ok, uint64(e.EntryAddr))
+		}
+	}
+	if _, ok := tbl.EntryAddr(mem.VirtAddr(uint64(9)<<SpanShift(2)), 1); ok {
+		t.Fatal("EntryAddr found a path that does not exist")
+	}
+}
+
+func TestHugeMapping(t *testing.T) {
+	tbl := newScatterTable(t, Config{Levels: 4, LeafLevel: 1})
+	va := mem.VirtAddr(uint64(5) << SpanShift(1)) // some 2 MB-aligned address
+	tbl.EnsureHuge(va)
+	r := tbl.Walk(va + 12345)
+	if !r.Present || !r.Huge || r.TermLevel != 2 || r.N != 3 {
+		t.Fatalf("huge walk: %+v", r)
+	}
+	// A neighbouring 2 MB region is not mapped.
+	r = tbl.Walk(va + mem.VirtAddr(uint64(1)<<SpanShift(1)))
+	if r.Present {
+		t.Fatal("unmapped neighbour reported present")
+	}
+}
+
+func TestHugeLeafTable(t *testing.T) {
+	tbl := newScatterTable(t, Config{Levels: 4, LeafLevel: 2})
+	end := mem.VirtAddr(uint64(10) << SpanShift(1))
+	tbl.PopulateRange(0, end)
+	r := tbl.Walk(mem.VirtAddr(3 << SpanShift(1)))
+	if !r.Present || !r.Huge || r.N != 3 || r.TermLevel != 2 {
+		t.Fatalf("2MB-leaf walk: %+v", r)
+	}
+	if tbl.NodeCount(1) != 0 {
+		t.Fatalf("2MB-leaf table created %d PL1 nodes", tbl.NodeCount(1))
+	}
+	assertPanics(t, "EnsureHuge on 2MB-leaf table", func() { tbl.EnsureHuge(0) })
+}
+
+func TestPopulateRangeDense(t *testing.T) {
+	tbl := newScatterTable(t, Config{Levels: 4, LeafLevel: 1})
+	pages := uint64(3*mem.NodeSpan + 17) // 3 full leaf nodes + partial
+	tbl.PopulateRange(0, mem.FromVPN(pages))
+	if got := tbl.NodeCount(1); got != 4 {
+		t.Fatalf("PL1 node count = %d, want 4", got)
+	}
+	for vpn := uint64(0); vpn < pages; vpn += 7 {
+		if !tbl.Present(mem.FromVPN(vpn)) {
+			t.Fatalf("page %d absent after dense populate", vpn)
+		}
+	}
+	if tbl.Present(mem.FromVPN(pages)) {
+		t.Fatal("page beyond range present")
+	}
+}
+
+func TestPopulateRangeUnalignedStart(t *testing.T) {
+	tbl := newScatterTable(t, Config{Levels: 4, LeafLevel: 1})
+	start := mem.FromVPN(100) // inside the first leaf node
+	end := mem.FromVPN(600)   // inside the second
+	tbl.PopulateRange(start, end)
+	if tbl.Present(mem.FromVPN(99)) || !tbl.Present(mem.FromVPN(100)) ||
+		!tbl.Present(mem.FromVPN(599)) || tbl.Present(mem.FromVPN(600)) {
+		t.Fatal("unaligned populate range boundaries wrong")
+	}
+}
+
+func TestPopulateSpread(t *testing.T) {
+	tbl := newScatterTable(t, Config{Levels: 4, LeafLevel: 1})
+	const total, resident = 10000, 3000
+	tbl.PopulateSpread(0, total, resident)
+	// Every spread VPN must be present; counts must match exactly.
+	count := 0
+	for vpn := uint64(0); vpn < total; vpn++ {
+		if tbl.Present(mem.FromVPN(vpn)) {
+			count++
+		}
+	}
+	if count != resident {
+		t.Fatalf("present pages = %d, want %d", count, resident)
+	}
+	for i := uint64(0); i < resident; i += 13 {
+		vpn := SpreadVPN(0, total, resident, i)
+		if !tbl.Present(mem.FromVPN(vpn)) {
+			t.Fatalf("spread page %d (vpn %d) absent", i, vpn)
+		}
+	}
+}
+
+func TestPopulateSpreadDenseFastPath(t *testing.T) {
+	tbl := newScatterTable(t, Config{Levels: 4, LeafLevel: 1})
+	tbl.PopulateSpread(0, 1024, 1024)
+	if got := tbl.NodeCount(1); got != 2 {
+		t.Fatalf("dense spread created %d PL1 nodes, want 2", got)
+	}
+	if !tbl.Present(mem.FromVPN(1023)) {
+		t.Fatal("dense spread missing last page")
+	}
+}
+
+func TestSpreadVPNMonotoneInjective(t *testing.T) {
+	f := func(rawT, rawR uint16) bool {
+		total := uint64(rawT)%5000 + 10
+		resident := uint64(rawR)%total + 1
+		prev := uint64(0)
+		for i := uint64(0); i < resident; i++ {
+			v := SpreadVPN(7, total, resident, i)
+			if v < 7 || v >= 7+total {
+				return false
+			}
+			if i > 0 && v <= prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeCounts(t *testing.T) {
+	tbl := newScatterTable(t, Config{Levels: 4, LeafLevel: 1})
+	// 1 GiB dense: 512 PL1 nodes, 1 PL2 node, 1 PL3, 1 PL4(root).
+	tbl.PopulateRange(0, mem.VirtAddr(mem.GiB))
+	if tbl.NodeCount(1) != 512 || tbl.NodeCount(2) != 1 || tbl.NodeCount(3) != 1 || tbl.NodeCount(4) != 1 {
+		t.Fatalf("node counts: %d/%d/%d/%d", tbl.NodeCount(1), tbl.NodeCount(2), tbl.NodeCount(3), tbl.NodeCount(4))
+	}
+	if tbl.TotalNodes() != 515 {
+		t.Fatalf("TotalNodes = %d, want 515", tbl.TotalNodes())
+	}
+	if got := len(tbl.AllFrames()); got != 515 {
+		t.Fatalf("AllFrames = %d", got)
+	}
+	if got := len(tbl.FramesAt(1)); got != 512 {
+		t.Fatalf("FramesAt(1) = %d", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{{Levels: 3, LeafLevel: 1}, {Levels: 4, LeafLevel: 0}, {Levels: 6, LeafLevel: 1}, {Levels: 4, LeafLevel: 3}}
+	for _, c := range bad {
+		if _, err := New(c, NewScatterAlloc(0, 1<<20, 1), false); err == nil {
+			t.Fatalf("config %+v accepted", c)
+		}
+	}
+}
+
+func TestPropertyWalkPresentMatchesEnsure(t *testing.T) {
+	tbl := newScatterTable(t, Config{Levels: 4, LeafLevel: 1})
+	mapped := map[uint64]bool{}
+	f := func(raw uint64, doMap bool) bool {
+		vpn := raw % (1 << 22)
+		if doMap {
+			tbl.EnsurePage(mem.FromVPN(vpn))
+			mapped[vpn] = true
+		}
+		return tbl.Present(mem.FromVPN(vpn)) == mapped[vpn]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEntryAddrWithinNodePage(t *testing.T) {
+	tbl := newScatterTable(t, Config{Levels: 4, LeafLevel: 1})
+	f := func(raw uint64) bool {
+		vpn := raw % (1 << 24)
+		va := mem.FromVPN(vpn)
+		tbl.EnsurePage(va)
+		r := tbl.Walk(va)
+		for _, e := range r.Entries[:r.N] {
+			off := uint64(e.EntryAddr) % mem.PageSize
+			if off%mem.PTEBytes != 0 {
+				return false
+			}
+		}
+		return r.Present
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}

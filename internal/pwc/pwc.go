@@ -1,0 +1,114 @@
+// Package pwc models the split page-walk caches of the paper's Table 5: tiny
+// dedicated structures caching page-table entries of the upper levels so the
+// hardware walker can skip the top of the radix tree. Configuration follows
+// Intel Core i7-style split PWCs: 2 fully associative entries caching PL4
+// entries, 4 caching PL3 entries, and a 32-entry 4-way array caching PL2
+// entries, with a 2-cycle access.
+//
+// Under virtualization the walker instantiates two PWCs: one keyed by guest
+// virtual addresses for the guest page table and one keyed by guest-physical
+// addresses for the host page table (Table 5: "one dedicated PWC for guest
+// PT, one for host PT").
+package pwc
+
+import (
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/pt"
+)
+
+// Config sizes the three structures.
+type Config struct {
+	PL4Entries int // fully associative
+	PL3Entries int // fully associative
+	PL2Entries int
+	PL2Ways    int
+	Latency    int // lookup latency in cycles
+}
+
+// DefaultConfig returns the paper's Table 5 configuration.
+func DefaultConfig() Config {
+	return Config{PL4Entries: 2, PL3Entries: 4, PL2Entries: 32, PL2Ways: 4, Latency: 2}
+}
+
+// Scale returns the configuration with every capacity multiplied by f — used
+// by the PWC-sizing ablation of §5.1.1 ("doubling the capacity of each PWC
+// ... provides a negligible page walk latency reduction").
+func (c Config) Scale(f int) Config {
+	c.PL4Entries *= f
+	c.PL3Entries *= f
+	c.PL2Entries *= f
+	return c
+}
+
+// PWC is a split page-walk cache. An entry in the level-L structure caches
+// the PL(L) page-table entry for a VA prefix, letting the walker resume at
+// level L-1.
+type PWC struct {
+	cfg     Config
+	byLevel [3]*cache.SetAssoc // index 0 → caches PL2 entries, 1 → PL3, 2 → PL4
+	hits    [6]uint64
+	misses  uint64
+}
+
+// New returns a PWC with the given configuration.
+func New(cfg Config) *PWC {
+	p := &PWC{cfg: cfg}
+	p.byLevel[0] = cache.NewSetAssoc(cfg.PL2Entries, cfg.PL2Ways)
+	p.byLevel[1] = cache.NewSetAssoc(cfg.PL3Entries, cfg.PL3Entries) // fully assoc
+	p.byLevel[2] = cache.NewSetAssoc(cfg.PL4Entries, cfg.PL4Entries) // fully assoc
+	return p
+}
+
+// Latency returns the lookup cost in cycles.
+func (p *PWC) Latency() int { return p.cfg.Latency }
+
+// tag returns the key identifying the PL(level) entry on va's path: the VA
+// bits above the span that the entry points to.
+func tag(va mem.VirtAddr, level int) uint64 {
+	return uint64(va) >> pt.SpanShift(level-1)
+}
+
+// Lookup returns the level at which the walker must resume its memory
+// accesses after consulting the PWC: a PL2-entry hit resumes at level 1, a
+// PL3-entry hit at level 2, a PL4-entry hit at level 3, and a full miss at
+// rootLevel (4 or 5; entries above PL4 are not cached, matching real
+// hardware). Lookups favour the deepest (longest-prefix) hit.
+func (p *PWC) Lookup(va mem.VirtAddr, rootLevel int) int {
+	for i := 0; i < 3; i++ {
+		level := 2 + i
+		if p.byLevel[i].Lookup(tag(va, level)) {
+			p.hits[level]++
+			return level - 1
+		}
+	}
+	p.misses++
+	return rootLevel
+}
+
+// Insert caches the PL(level) entry on va's path; levels outside {2,3,4} are
+// ignored. The walker calls this for every interior entry it reads.
+func (p *PWC) Insert(va mem.VirtAddr, level int) {
+	if level < 2 || level > 4 {
+		return
+	}
+	p.byLevel[level-2].Insert(tag(va, level))
+}
+
+// Flush invalidates all three structures.
+func (p *PWC) Flush() {
+	for _, c := range p.byLevel {
+		c.Flush()
+	}
+}
+
+// Hits returns the number of lookups resolved by the level-L structure.
+func (p *PWC) Hits(level int) uint64 {
+	if level < 2 || level > 4 {
+		return 0
+	}
+	return p.hits[level]
+}
+
+// Misses returns the number of lookups that hit no structure.
+func (p *PWC) Misses() uint64 { return p.misses }

@@ -1,0 +1,124 @@
+package pwc
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/pt"
+)
+
+func TestLookupMissStartsAtRoot(t *testing.T) {
+	p := New(DefaultConfig())
+	if got := p.Lookup(0x1234000, 4); got != 4 {
+		t.Fatalf("cold lookup = %d, want 4", got)
+	}
+	if got := p.Lookup(0x1234000, 5); got != 5 {
+		t.Fatalf("cold 5-level lookup = %d, want 5", got)
+	}
+	if p.Misses() != 2 {
+		t.Fatalf("Misses = %d", p.Misses())
+	}
+}
+
+func TestLookupDeepestHitWins(t *testing.T) {
+	p := New(DefaultConfig())
+	va := mem.VirtAddr(uint64(3)<<pt.SpanShift(2) | uint64(5)<<pt.SpanShift(1))
+	p.Insert(va, 4)
+	p.Insert(va, 3)
+	p.Insert(va, 2)
+	if got := p.Lookup(va, 4); got != 1 {
+		t.Fatalf("lookup with PL2 entry cached = %d, want resume at 1", got)
+	}
+	if p.Hits(2) != 1 {
+		t.Fatalf("Hits(2) = %d", p.Hits(2))
+	}
+}
+
+func TestLookupPartialHits(t *testing.T) {
+	p := New(DefaultConfig())
+	va := mem.VirtAddr(uint64(7) << pt.SpanShift(3))
+	p.Insert(va, 4)
+	if got := p.Lookup(va, 4); got != 3 {
+		t.Fatalf("PL4-entry hit should resume at 3, got %d", got)
+	}
+	p.Insert(va, 3)
+	if got := p.Lookup(va, 4); got != 2 {
+		t.Fatalf("PL3-entry hit should resume at 2, got %d", got)
+	}
+}
+
+func TestTagGranularity(t *testing.T) {
+	p := New(DefaultConfig())
+	va := mem.VirtAddr(0)
+	p.Insert(va, 2) // caches the PL2 entry for the first 2 MB span
+	// Another address in the same 2 MB span shares the PL2 entry.
+	if got := p.Lookup(va+mem.VirtAddr(mem.HugeSize-1), 4); got != 1 {
+		t.Fatalf("same-span lookup = %d, want 1", got)
+	}
+	// The next 2 MB span uses a different PL2 entry but the same PL3/PL4
+	// entries; with only the PL2 entry cached it must miss entirely.
+	if got := p.Lookup(va+mem.VirtAddr(mem.HugeSize), 4); got != 4 {
+		t.Fatalf("next-span lookup = %d, want 4", got)
+	}
+}
+
+func TestInsertIgnoresLeafAndOutOfRange(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Insert(0, 1) // leaf entries are TLB territory, not PWC
+	p.Insert(0, 5) // PL5 entries not cached
+	if got := p.Lookup(0, 5); got != 5 {
+		t.Fatalf("lookup after ignored inserts = %d, want 5", got)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	p := New(DefaultConfig()) // PL4 structure: 2 entries fully associative
+	for i := uint64(0); i < 3; i++ {
+		p.Insert(mem.VirtAddr(i<<pt.SpanShift(3)), 4)
+	}
+	hits := 0
+	for i := uint64(0); i < 3; i++ {
+		if p.Lookup(mem.VirtAddr(i<<pt.SpanShift(3)), 4) == 3 {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Fatalf("PL4 structure held %d of 3 entries, want 2", hits)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Insert(0, 2)
+	p.Flush()
+	if got := p.Lookup(0, 4); got != 4 {
+		t.Fatalf("lookup after flush = %d", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := DefaultConfig().Scale(2)
+	if c.PL4Entries != 4 || c.PL3Entries != 8 || c.PL2Entries != 64 || c.PL2Ways != 4 {
+		t.Fatalf("scaled config = %+v", c)
+	}
+	p := New(c)
+	// Now 4 PL4 entries fit.
+	for i := uint64(0); i < 4; i++ {
+		p.Insert(mem.VirtAddr(i<<pt.SpanShift(3)), 4)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if p.Lookup(mem.VirtAddr(i<<pt.SpanShift(3)), 4) != 3 {
+			t.Fatalf("scaled PL4 structure lost entry %d", i)
+		}
+	}
+}
+
+func TestHitsAccessorBounds(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.Hits(1) != 0 || p.Hits(5) != 0 {
+		t.Fatal("out-of-range Hits not zero")
+	}
+	if p.Latency() != 2 {
+		t.Fatalf("Latency = %d", p.Latency())
+	}
+}

@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/pt"
+	"repro/internal/rng"
+	"repro/internal/virt"
+	"repro/internal/vma"
+	"repro/internal/workload"
+)
+
+// Machine address-space plan (frame numbers). The simulator only tracks tags,
+// so these areas just need to be disjoint; they mirror a large machine.
+const (
+	asapRegionBase = mem.Frame(1) << 24 // sorted PT regions (native)
+	ptScatterBase  = mem.Frame(1) << 26 // scattered PT nodes (native + EPT)
+	ptScatterSpan  = uint64(1) << 22
+	dataBase       = mem.Frame(1) << 28 // application data pages (native)
+	coRunnerBase   = mem.Frame(1) << 30 // co-runner's working set
+	coRunnerSpan   = uint64(1) << 22    // 16 GiB
+	guestRAMBase   = mem.Frame(1) << 32 // scattered backing of guest RAM
+	guestPinBase   = mem.Frame(1) << 34 // pinned guest PT regions
+	hostRegionBase = mem.Frame(1) << 35 // sorted EPT regions
+)
+
+// guestPTScatterSpan is the guest-physical area reserved for scattered guest
+// page-table nodes.
+const guestPTScatterSpan = uint64(1) << 22
+
+// nativeAssembly is a ready-to-run native process: layout, populated page
+// table, data placement and (optionally) ASAP descriptors whose regions the
+// page table honours.
+type nativeAssembly struct {
+	layout *workload.Layout
+	table  *pt.Table
+	frames *workload.FrameMap
+	descs  []*core.Descriptor
+}
+
+// virtAssembly is a ready-to-run virtual machine: guest page table over
+// guest-physical space, EPT over machine space, the GPA map binding them, and
+// per-dimension ASAP descriptors.
+type virtAssembly struct {
+	layout     *workload.Layout
+	guestPT    *pt.Table
+	ept        *pt.Table
+	gmap       *virt.GPAMap
+	guestDescs []*core.Descriptor
+	hostDescs  []*core.Descriptor
+	gDataSpan  uint64 // guest-physical frames backing data pages
+	gpaSalt    uint64
+}
+
+// dataGPA returns the guest-physical address backing va: guest data pages
+// scatter over the guest's RAM as a long-running guest's would.
+func (v *virtAssembly) dataGPA(va mem.VirtAddr) mem.PhysAddr {
+	gframe := rng.Mix64(va.VPN()^v.gpaSalt) % v.gDataSpan
+	return mem.Frame(gframe).Addr() + mem.PhysAddr(va.PageOffset())
+}
+
+// asapLevels returns the page-table levels worth reserving regions for: the
+// deep levels the paper prefetches, bounded by the table's leaf level.
+func asapLevels(fiveLevel, hugeLeaf bool) []int {
+	if hugeLeaf {
+		return []int{2}
+	}
+	if fiveLevel {
+		return []int{1, 2, 3}
+	}
+	return []int{1, 2}
+}
+
+// setupSorted reserves sorted regions for the top areas of the layout and
+// returns the resulting allocator and descriptors.
+func setupSorted(areas []*vma.VMA, levels []int, fallback pt.Allocator,
+	reserve core.Reserver, holeProb float64, seed uint64) (*pt.SortedAlloc, []*core.Descriptor, error) {
+	sorted := pt.NewSortedAlloc(fallback, holeProb, seed)
+	var descs []*core.Descriptor
+	for _, area := range areas {
+		setup, err := core.SetupVMA(area, levels, reserve)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, reg := range setup.Regions {
+			sorted.AddRegion(reg)
+		}
+		descs = append(descs, setup.Descriptor)
+	}
+	return sorted, descs, nil
+}
+
+// buildNative assembles a native process for spec.
+func buildNative(spec workload.Spec, sorted, fiveLevel bool, holeProb float64, regCap int) (*nativeAssembly, error) {
+	layout, err := workload.BuildLayout(spec)
+	if err != nil {
+		return nil, err
+	}
+	salt := rng.Mix64(hashName(spec.Name))
+	var alloc pt.Allocator = pt.NewScatterAlloc(ptScatterBase, ptScatterSpan, salt)
+	var descs []*core.Descriptor
+	if sorted {
+		targets := layout.Space.Largest(regCap)
+		targets = keepBig(targets, layout)
+		s, d, err := setupSorted(targets, asapLevels(fiveLevel, false), alloc,
+			mem.NewBump(asapRegionBase, uint64(1)<<24), holeProb, salt^1)
+		if err != nil {
+			return nil, err
+		}
+		alloc, descs = s, d
+	}
+	cfg := pt.Config{Levels: 4, LeafLevel: 1}
+	if fiveLevel {
+		cfg.Levels = 5
+	}
+	table, err := pt.New(cfg, alloc, false)
+	if err != nil {
+		return nil, err
+	}
+	layout.Populate(table)
+	return &nativeAssembly{
+		layout: layout,
+		table:  table,
+		frames: &workload.FrameMap{
+			Base:    dataBase,
+			Span:    mem.NextPow2(layout.TotalResident * 5 / 4),
+			Contig8: spec.Contig8,
+			Salt:    salt ^ 2,
+		},
+		descs: descs,
+	}, nil
+}
+
+// keepBig filters candidate prefetch VMAs down to dataset areas: registering
+// tiny library areas would waste range registers (the OS targets the heap and
+// large mappings, §3.2).
+func keepBig(areas []*vma.VMA, layout *workload.Layout) []*vma.VMA {
+	var out []*vma.VMA
+	for _, a := range areas {
+		for _, big := range layout.Big {
+			if a == big {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// buildVirt assembles a virtualized deployment for spec.
+func buildVirt(spec workload.Spec, guestSorted, hostSorted, hostHuge bool, holeProb float64, regCap int) (*virtAssembly, error) {
+	layout, err := workload.BuildLayout(spec)
+	if err != nil {
+		return nil, err
+	}
+	salt := rng.Mix64(hashName(spec.Name)) ^ 0xbeef
+
+	// Guest-physical plan: data pages scatter over the low gPA range, guest
+	// PT nodes over the next, and pinned sorted regions at the top.
+	gDataSpan := mem.NextPow2(layout.TotalResident * 5 / 4)
+	gptBase := mem.Frame(gDataSpan)
+	gASAPBase := gptBase + mem.Frame(guestPTScatterSpan)
+
+	var guestAlloc pt.Allocator = pt.NewScatterAlloc(gptBase, guestPTScatterSpan, salt)
+	guestReserver := mem.NewBump(gASAPBase, uint64(1)<<24)
+	var guestDescs []*core.Descriptor
+	var guestRegions []*pt.Region
+	if guestSorted {
+		targets := keepBig(layout.Space.Largest(regCap), layout)
+		s, d, err := setupSorted(targets, asapLevels(false, false), guestAlloc, guestReserver, holeProb, salt^1)
+		if err != nil {
+			return nil, err
+		}
+		guestAlloc, guestDescs = s, d
+		guestRegions = s.Regions
+	}
+	guestFrames := uint64(gASAPBase) + (uint64(1)<<24 - guestReserver.Remaining())
+
+	// Machine backing of guest RAM, with the guest PT regions pinned
+	// machine-contiguously (the vmcall protocol of §3.6) so the guest
+	// descriptors can expose machine base addresses.
+	gmap := virt.NewGPAMap(guestRAMBase, mem.NextPow2(guestFrames*2), hostHuge, salt^3)
+	pinAt := guestPinBase
+	for i, reg := range guestRegions {
+		n := pt.NodesFor(reg.Level, reg.VAStart, reg.VAEnd)
+		if err := gmap.Pin(uint64(reg.Base), n, pinAt); err != nil {
+			return nil, err
+		}
+		// Point the descriptor at the machine base of the pinned range.
+		for _, d := range guestDescs {
+			if d.Start == reg.VAStart && d.Has[reg.Level] && d.Base[reg.Level] == reg.Base.Addr() {
+				d.Base[reg.Level] = pinAt.Addr()
+			}
+		}
+		pinAt += mem.Frame(n)
+		_ = i
+	}
+
+	guestPT, err := pt.New(pt.Config{Levels: 4, LeafLevel: 1}, guestAlloc, false)
+	if err != nil {
+		return nil, err
+	}
+	layout.Populate(guestPT)
+
+	// The EPT covers all of guest RAM; its nodes live in machine frames.
+	var hostAlloc pt.Allocator = pt.NewScatterAlloc(ptScatterBase, ptScatterSpan, salt^4)
+	var hostDescs []*core.Descriptor
+	guestRAM := &vma.VMA{Start: 0, End: mem.VirtAddr(guestFrames * mem.PageSize), Kind: vma.GuestRAM, Name: spec.Name + "-vm"}
+	if hostSorted {
+		s, d, err := setupSorted([]*vma.VMA{guestRAM}, asapLevels(false, hostHuge), hostAlloc,
+			mem.NewBump(hostRegionBase, uint64(1)<<24), holeProb, salt^5)
+		if err != nil {
+			return nil, err
+		}
+		hostAlloc, hostDescs = s, d
+	}
+	ept, err := pt.New(virt.EPTConfig(hostHuge), hostAlloc, false)
+	if err != nil {
+		return nil, err
+	}
+	ept.PopulateRange(0, guestRAM.End)
+
+	return &virtAssembly{
+		layout:     layout,
+		guestPT:    guestPT,
+		ept:        ept,
+		gmap:       gmap,
+		guestDescs: guestDescs,
+		hostDescs:  hostDescs,
+		gDataSpan:  gDataSpan,
+		gpaSalt:    salt ^ 6,
+	}, nil
+}
+
+func hashName(name string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	return h
+}
+
+// Assemblies are expensive to build (populating a 400 GB page table touches
+// hundreds of thousands of nodes), immutable once built, and shared across
+// many scenario cells, so they are memoized in a small LRU cache.
+var (
+	buildMu    sync.Mutex
+	buildCache = map[string]any{}
+	buildOrder []string
+)
+
+const buildCacheCap = 12
+
+func memoize(key string, build func() (any, error)) (any, error) {
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if v, ok := buildCache[key]; ok {
+		return v, nil
+	}
+	v, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if len(buildOrder) >= buildCacheCap {
+		oldest := buildOrder[0]
+		buildOrder = buildOrder[1:]
+		delete(buildCache, oldest)
+	}
+	buildCache[key] = v
+	buildOrder = append(buildOrder, key)
+	return v, nil
+}
+
+func nativeFor(spec workload.Spec, sorted bool, p Params) (*nativeAssembly, error) {
+	key := fmt.Sprintf("native|%s|%v|%v|%v|%d", spec.Name, sorted, p.FiveLevel, p.HoleProb, p.RangeRegisters)
+	v, err := memoize(key, func() (any, error) {
+		return buildNative(spec, sorted, p.FiveLevel, p.HoleProb, p.RangeRegisters)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*nativeAssembly), nil
+}
+
+func virtFor(spec workload.Spec, guestSorted, hostSorted, hostHuge bool, p Params) (*virtAssembly, error) {
+	key := fmt.Sprintf("virt|%s|%v|%v|%v|%v|%d", spec.Name, guestSorted, hostSorted, hostHuge, p.HoleProb, p.RangeRegisters)
+	v, err := memoize(key, func() (any, error) {
+		return buildVirt(spec, guestSorted, hostSorted, hostHuge, p.HoleProb, p.RangeRegisters)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*virtAssembly), nil
+}
+
+// ResetBuildCache drops all memoized assemblies (tests use it to bound
+// memory).
+func ResetBuildCache() {
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	buildCache = map[string]any{}
+	buildOrder = nil
+}

@@ -1,0 +1,142 @@
+// Package sim orchestrates whole experiments: it assembles a synthetic
+// process (or virtual machine) for a workload, wires up the simulated
+// hardware (TLBs, page-walk caches, cache hierarchy, page walker, ASAP
+// engine), replays the workload's reference stream, and reports the paper's
+// metrics — average page-walk latency above all (§4: "As a primary evaluation
+// metric for ASAP, we use page walk latency").
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/pwc"
+	"repro/internal/workload"
+)
+
+// Params holds the simulated platform parameters (the paper's Table 5) and
+// the measurement protocol.
+type Params struct {
+	Cache cache.Config
+	PWC   pwc.Config
+	// MSHRs bounds concurrently outstanding ASAP prefetches (best-effort
+	// issue, §3.4).
+	MSHRs int
+	// RangeRegisters is the per-thread VMA descriptor capacity (§3.4: 8–16
+	// registers cover 99% of the studied footprints).
+	RangeRegisters int
+	// HoleProb displaces each ASAP-region page-table node with this
+	// probability, modelling pinned pages the OS could not clear (§3.7.2).
+	HoleProb float64
+	// FiveLevel builds 5-level page tables (§2.6/§3.5); the ASAP config may
+	// then include P3.
+	FiveLevel bool
+
+	// WarmupWalks and MeasureWalks are the pre-measurement and measured
+	// page-walk counts per run; phases are walk-based so that workloads with
+	// very different TLB miss rates are measured with equal statistical
+	// weight and warm caches. MaxRefs bounds a run defensively.
+	WarmupWalks  int
+	MeasureWalks int
+	MaxRefs      int
+	Seed         uint64
+
+	// CoAccessCycles paces the SMT co-runner: it issues one random request
+	// per this many cycles of application progress, so pressure rises when
+	// the application stalls on long (e.g. nested) walks — the dynamics
+	// behind Table 1's escalation from 2.7× (SMT) to 12× (virt + SMT).
+	CoAccessCycles float64
+
+	// CPIBase feeds the execution-time model (Fig 2 / Table 6 substitute for
+	// hardware counters): each reference retires InstrPerRef instructions at
+	// CPIBase cycles each, pays the workload's DataStallCycles, and pays its
+	// full (serial) page-walk latency. Following the paper's methodology,
+	// only page-walk traffic — plus the co-runner under colocation — flows
+	// through the simulated cache hierarchy (§4).
+	CPIBase float64
+}
+
+// DefaultParams mirrors Table 5 and the harness defaults.
+func DefaultParams() Params {
+	return Params{
+		Cache:          cache.DefaultConfig(),
+		PWC:            pwc.DefaultConfig(),
+		MSHRs:          10,
+		RangeRegisters: 16,
+		WarmupWalks:    60_000,
+		MeasureWalks:   50_000,
+		MaxRefs:        50_000_000,
+		Seed:           42,
+		CoAccessCycles: 18,
+		CPIBase:        0.6,
+	}
+}
+
+// ASAPConfig selects prefetch levels per translation dimension. Native runs
+// use Native; virtualized runs use Guest and Host (paper §3.6/Fig 10's
+// P1g/P2g/P1h/P2h configurations).
+type ASAPConfig struct {
+	Native core.Config
+	Guest  core.Config
+	Host   core.Config
+}
+
+// Enabled reports whether any dimension prefetches.
+func (a ASAPConfig) Enabled() bool {
+	return a.Native.Enabled() || a.Guest.Enabled() || a.Host.Enabled()
+}
+
+// String names the configuration in the paper's figure style.
+func (a ASAPConfig) String() string {
+	if !a.Enabled() {
+		return "baseline"
+	}
+	if a.Native.Enabled() {
+		return a.Native.String()
+	}
+	s := ""
+	for _, l := range a.Guest.Levels() {
+		if s != "" {
+			s += "+"
+		}
+		s += fmt.Sprintf("P%dg", l)
+	}
+	for _, l := range a.Host.Levels() {
+		if s != "" {
+			s += "+"
+		}
+		s += fmt.Sprintf("P%dh", l)
+	}
+	return s
+}
+
+// Scenario is one experiment cell.
+type Scenario struct {
+	Workload      workload.Spec
+	Virtualized   bool
+	Colocated     bool
+	ASAP          ASAPConfig
+	HostHugePages bool // hypervisor backs the guest with 2 MB pages (Fig 12)
+	ClusteredTLB  bool // replace the STLB with the Clustered TLB (§5.4.1)
+}
+
+// Name renders a compact scenario label for logs and tables.
+func (s Scenario) Name() string {
+	n := s.Workload.Name
+	if s.Virtualized {
+		n += "/virt"
+	} else {
+		n += "/native"
+	}
+	if s.Colocated {
+		n += "+colo"
+	}
+	if s.HostHugePages {
+		n += "+2MB"
+	}
+	if s.ClusteredTLB {
+		n += "+ctlb"
+	}
+	return n + "/" + s.ASAP.String()
+}

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/pwc"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+	"repro/internal/walker"
+	"repro/internal/workload"
+)
+
+// Result carries every metric the paper's tables and figures need.
+type Result struct {
+	Scenario Scenario
+
+	// Translation metrics (measured window).
+	Accesses     uint64
+	Walks        uint64
+	WalkCycles   uint64
+	AvgWalkLat   float64 // Fig 3/8/10/12: average page walk latency
+	TLBMissRatio float64
+	MPKI         float64 // L2-TLB misses per kilo-instruction (Table 7)
+
+	// Execution-time model (Fig 2, Table 6).
+	TotalCycles  float64
+	WalkFraction float64 // share of cycles spent in page walks
+
+	// Fig 9: page-walk requests per PT level × serving hierarchy level
+	// (native-dimension accesses only).
+	Breakdown stats.Breakdown
+
+	// ASAP internals.
+	PrefetchIssued  uint64
+	PrefetchCovered uint64
+	RangeHitRate    float64
+	MSHRDropped     uint64
+}
+
+// Run simulates one scenario cell and returns its metrics.
+func Run(sc Scenario, p Params) (*Result, error) {
+	h := cache.NewHierarchy(p.Cache)
+	tl := tlb.NewTwoLevel(sc.ClusteredTLB)
+	mshr := cache.NewMSHRFile(p.MSHRs)
+	res := &Result{Scenario: sc}
+
+	var co *workload.CoRunner
+	if sc.Colocated {
+		co = workload.NewCoRunner(coRunnerBase.Addr(), coRunnerSpan*mem.PageSize, p.Seed^0xc0)
+	}
+
+	if sc.Virtualized {
+		return res, runVirt(sc, p, h, tl, mshr, co, res)
+	}
+	return res, runNative(sc, p, h, tl, mshr, co, res)
+}
+
+// engineFor loads descriptors into a fresh range-register file, or returns
+// nil for a disabled configuration.
+func engineFor(cfg core.Config, descs []*core.Descriptor, capacity int) *core.Engine {
+	if !cfg.Enabled() {
+		return nil
+	}
+	e := core.NewEngine(capacity, cfg)
+	for _, d := range descs {
+		e.Install(d)
+	}
+	return e
+}
+
+func runNative(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
+	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result) error {
+	asm, err := nativeFor(sc.Workload, sc.ASAP.Native.Enabled(), p)
+	if err != nil {
+		return err
+	}
+	engine := engineFor(sc.ASAP.Native, asm.descs, p.RangeRegisters)
+	w := &walker.Walker{H: h, PWC: pwc.New(p.PWC), ASAP: engine, MSHR: mshr}
+	gen := workload.NewGenerator(sc.Workload, asm.layout, p.Seed)
+
+	neighbors := func(vpn uint64) (uint64, bool) {
+		if !asm.layout.PresentVPN(vpn) {
+			return 0, false
+		}
+		return uint64(asm.frames.Frame(vpn)), true
+	}
+
+	var wr walker.Result
+	var now int64
+	measure := newMeter(sc.Workload, p)
+	var walksTotal, refs int
+	var coDebt float64
+	measuring := false
+	for refs = 0; refs < p.MaxRefs; refs++ {
+		if !measuring && walksTotal >= p.WarmupWalks {
+			measure.begin(tl)
+			measuring = true
+		}
+		if measuring && int(measure.walks) >= p.MeasureWalks {
+			break
+		}
+		va := gen.Next()
+		pfn := uint64(asm.frames.Frame(va.VPN()))
+		refCycles := sc.Workload.DataStallCycles + sc.Workload.InstrPerRef*p.CPIBase
+		if !tl.LookupVA(va, pfn, neighbors) {
+			w.Walk(now, asm.table, va, &wr)
+			now += int64(wr.Cycles)
+			refCycles += float64(wr.Cycles)
+			tl.InsertVA(va, wr.Huge, pfn, neighbors)
+			walksTotal++
+			if measuring {
+				measure.walk(&wr, res)
+			}
+		}
+		// Following the paper's methodology, the application's own data
+		// accesses do not flow through the simulated hierarchy; page-walk
+		// traffic and the SMT co-runner's stream do (§4). The co-runner
+		// issues one random request per CoAccessCycles of app progress.
+		if co != nil {
+			for coDebt += refCycles / p.CoAccessCycles; coDebt >= 1; coDebt-- {
+				h.Access(co.Next())
+			}
+		}
+		now += int64(sc.Workload.DataStallCycles)
+		if measuring {
+			measure.access()
+		}
+	}
+	measure.finish(res, tl, engine, mshr)
+	return nil
+}
+
+func runVirt(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
+	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result) error {
+	asm, err := virtFor(sc.Workload, sc.ASAP.Guest.Enabled(), sc.ASAP.Host.Enabled(), sc.HostHugePages, p)
+	if err != nil {
+		return err
+	}
+	w := &walker.Nested{
+		H:         h,
+		GuestPWC:  pwc.New(p.PWC),
+		HostPWC:   pwc.New(p.PWC),
+		GuestASAP: engineFor(sc.ASAP.Guest, asm.guestDescs, p.RangeRegisters),
+		HostASAP:  engineFor(sc.ASAP.Host, asm.hostDescs, p.RangeRegisters),
+		MSHR:      mshr,
+		GuestPT:   asm.guestPT,
+		HostPT:    asm.ept,
+		Translate: asm.gmap.Translate,
+	}
+	gen := workload.NewGenerator(sc.Workload, asm.layout, p.Seed)
+
+	var wr walker.Result
+	var now int64
+	measure := newMeter(sc.Workload, p)
+	var walksTotal, refs int
+	var coDebt float64
+	measuring := false
+	for refs = 0; refs < p.MaxRefs; refs++ {
+		if !measuring && walksTotal >= p.WarmupWalks {
+			measure.begin(tl)
+			measuring = true
+		}
+		if measuring && int(measure.walks) >= p.MeasureWalks {
+			break
+		}
+		va := gen.Next()
+		gpa := asm.dataGPA(va)
+		maddr := asm.gmap.Translate(gpa)
+		refCycles := sc.Workload.DataStallCycles + sc.Workload.InstrPerRef*p.CPIBase
+		if !tl.LookupVA(va, uint64(maddr.Frame()), nil) {
+			w.Walk(now, va, gpa, &wr)
+			now += int64(wr.Cycles)
+			refCycles += float64(wr.Cycles)
+			tl.InsertVA(va, wr.Huge, uint64(maddr.Frame()), nil)
+			walksTotal++
+			if measuring {
+				measure.walk(&wr, res)
+			}
+		}
+		if co != nil {
+			for coDebt += refCycles / p.CoAccessCycles; coDebt >= 1; coDebt-- {
+				h.Access(co.Next())
+			}
+		}
+		now += int64(sc.Workload.DataStallCycles)
+		if measuring {
+			measure.access()
+		}
+	}
+	measure.finish(res, tl, w.GuestASAP, mshr)
+	return nil
+}
+
+// meter accumulates measured-window statistics and the execution-time model.
+type meter struct {
+	p            Params
+	spec         workload.Spec
+	accesses     uint64
+	walks        uint64
+	walkCycles   uint64
+	dataCycles   float64
+	tlbAccesses0 uint64
+	tlbMisses0   uint64
+}
+
+func newMeter(spec workload.Spec, p Params) *meter {
+	return &meter{p: p, spec: spec}
+}
+
+// begin snapshots cumulative TLB counters at the warmup/measure boundary.
+func (m *meter) begin(tl *tlb.TwoLevel) {
+	m.tlbAccesses0 = tl.Accesses
+	m.tlbMisses0 = tl.L2Misses
+}
+
+func (m *meter) access() {
+	m.accesses++
+	m.dataCycles += m.spec.DataStallCycles
+}
+
+func (m *meter) walk(wr *walker.Result, res *Result) {
+	m.walks++
+	m.walkCycles += uint64(wr.Cycles)
+	res.PrefetchIssued += uint64(wr.PrefetchIssued)
+	res.PrefetchCovered += uint64(wr.PrefetchCovered)
+	for _, a := range wr.Accesses[:wr.N] {
+		if a.Dim == walker.DimNative {
+			res.Breakdown.Add(int(a.Level), a.Served)
+		}
+	}
+}
+
+func (m *meter) finish(res *Result, tl *tlb.TwoLevel, engine *core.Engine, mshr *cache.MSHRFile) {
+	res.Accesses = m.accesses
+	res.Walks = m.walks
+	res.WalkCycles = m.walkCycles
+	if m.walks > 0 {
+		res.AvgWalkLat = float64(m.walkCycles) / float64(m.walks)
+	}
+	if n := tl.Accesses - m.tlbAccesses0; n > 0 {
+		res.TLBMissRatio = float64(tl.L2Misses-m.tlbMisses0) / float64(n)
+	}
+	instructions := float64(m.accesses) * m.spec.InstrPerRef
+	if instructions > 0 {
+		res.MPKI = float64(tl.L2Misses-m.tlbMisses0) / (instructions / 1000)
+	}
+	coreCycles := instructions * m.p.CPIBase
+	res.TotalCycles = coreCycles + m.dataCycles + float64(m.walkCycles)
+	if res.TotalCycles > 0 {
+		res.WalkFraction = float64(m.walkCycles) / res.TotalCycles
+	}
+	if engine != nil {
+		res.RangeHitRate = engine.RangeHitRate()
+	}
+	res.MSHRDropped = mshr.Dropped()
+}

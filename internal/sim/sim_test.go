@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// tinySpec is a fast-to-build workload for unit tests: 96 MiB dataset,
+// uniform access with some locality.
+func tinySpec() workload.Spec {
+	return workload.Spec{
+		Name:            "tiny",
+		DatasetBytes:    96 * mem.MiB,
+		SpreadFactor:    1.5,
+		TotalVMAs:       6,
+		BigVMAs:         2,
+		Pattern:         workload.Uniform,
+		HotFraction:     0.02,
+		HotProb:         0.4,
+		BurstLen:        2,
+		LinesPerVisit:   2,
+		DataStallCycles: 30,
+		Contig8:         0.5,
+		MeanPTRun:       4,
+		DataPerPTNode:   1,
+		InstrPerRef:     4,
+	}
+}
+
+// fastParams shrinks the measurement protocol so tests stay quick.
+func fastParams() Params {
+	p := DefaultParams()
+	p.WarmupWalks = 4000
+	p.MeasureWalks = 4000
+	return p
+}
+
+func run(t *testing.T, sc Scenario, p Params) *Result {
+	t.Helper()
+	res, err := Run(sc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Walks == 0 || res.AvgWalkLat <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	return res
+}
+
+func TestNativeBaselinePlausible(t *testing.T) {
+	res := run(t, Scenario{Workload: tinySpec()}, fastParams())
+	// A 4-level walk with a 2-cycle PWC lies between 6 (full PWC + L1 hit)
+	// and 766 (all memory) cycles.
+	if res.AvgWalkLat < 6 || res.AvgWalkLat > 766 {
+		t.Fatalf("baseline walk latency %v implausible", res.AvgWalkLat)
+	}
+	if res.TLBMissRatio <= 0 || res.TLBMissRatio > 1 {
+		t.Fatalf("miss ratio %v", res.TLBMissRatio)
+	}
+	if res.WalkFraction <= 0 || res.WalkFraction >= 1 {
+		t.Fatalf("walk fraction %v", res.WalkFraction)
+	}
+	// Fig 9 sanity: PL4 requests recorded, and every level's fractions sum
+	// to ~1 implicitly via Total.
+	if res.Breakdown.Total(4) == 0 || res.Breakdown.Total(1) == 0 {
+		t.Fatal("breakdown not recorded")
+	}
+}
+
+func TestASAPReducesNativeLatency(t *testing.T) {
+	p := fastParams()
+	base := run(t, Scenario{Workload: tinySpec()}, p)
+	p1 := run(t, Scenario{Workload: tinySpec(), ASAP: ASAPConfig{Native: core.Config{P1: true}}}, p)
+	p12 := run(t, Scenario{Workload: tinySpec(), ASAP: ASAPConfig{Native: core.Config{P1: true, P2: true}}}, p)
+	if p1.AvgWalkLat >= base.AvgWalkLat {
+		t.Fatalf("P1 (%v) not below baseline (%v)", p1.AvgWalkLat, base.AvgWalkLat)
+	}
+	if p12.AvgWalkLat > p1.AvgWalkLat*1.02 {
+		t.Fatalf("P1+P2 (%v) worse than P1 (%v)", p12.AvgWalkLat, p1.AvgWalkLat)
+	}
+	if p12.PrefetchIssued == 0 || p12.PrefetchCovered == 0 {
+		t.Fatal("no prefetch activity recorded")
+	}
+	if p12.RangeHitRate <= 0.5 {
+		t.Fatalf("range-register hit rate %v too low", p12.RangeHitRate)
+	}
+}
+
+func TestColocationIncreasesLatency(t *testing.T) {
+	p := fastParams()
+	iso := run(t, Scenario{Workload: tinySpec()}, p)
+	colo := run(t, Scenario{Workload: tinySpec(), Colocated: true}, p)
+	if colo.AvgWalkLat <= iso.AvgWalkLat*1.05 {
+		t.Fatalf("colocation did not pressure walks: %v vs %v", colo.AvgWalkLat, iso.AvgWalkLat)
+	}
+	// ASAP's opportunity grows under colocation (paper §5.1.2).
+	asapIso := run(t, Scenario{Workload: tinySpec(), ASAP: ASAPConfig{Native: core.Config{P1: true, P2: true}}}, p)
+	asapColo := run(t, Scenario{Workload: tinySpec(), Colocated: true, ASAP: ASAPConfig{Native: core.Config{P1: true, P2: true}}}, p)
+	redIso := 1 - asapIso.AvgWalkLat/iso.AvgWalkLat
+	redColo := 1 - asapColo.AvgWalkLat/colo.AvgWalkLat
+	if redColo <= redIso {
+		t.Fatalf("ASAP reduction under colocation (%v) not above isolation (%v)", redColo, redIso)
+	}
+}
+
+func TestVirtualizationCostlier(t *testing.T) {
+	p := fastParams()
+	native := run(t, Scenario{Workload: tinySpec()}, p)
+	virt := run(t, Scenario{Workload: tinySpec(), Virtualized: true}, p)
+	if virt.AvgWalkLat < native.AvgWalkLat*1.5 {
+		t.Fatalf("2D walks (%v) not clearly above native (%v)", virt.AvgWalkLat, native.AvgWalkLat)
+	}
+}
+
+func TestVirtASAPOrdering(t *testing.T) {
+	p := fastParams()
+	base := run(t, Scenario{Workload: tinySpec(), Virtualized: true}, p)
+	g := run(t, Scenario{Workload: tinySpec(), Virtualized: true,
+		ASAP: ASAPConfig{Guest: core.Config{P1: true, P2: true}}}, p)
+	gh := run(t, Scenario{Workload: tinySpec(), Virtualized: true,
+		ASAP: ASAPConfig{Guest: core.Config{P1: true, P2: true}, Host: core.Config{P1: true, P2: true}}}, p)
+	if !(gh.AvgWalkLat < g.AvgWalkLat && g.AvgWalkLat < base.AvgWalkLat) {
+		t.Fatalf("virt ASAP ordering violated: base=%v guest=%v guest+host=%v",
+			base.AvgWalkLat, g.AvgWalkLat, gh.AvgWalkLat)
+	}
+}
+
+func TestHostHugePagesShortenBaseline(t *testing.T) {
+	p := fastParams()
+	small := run(t, Scenario{Workload: tinySpec(), Virtualized: true}, p)
+	huge := run(t, Scenario{Workload: tinySpec(), Virtualized: true, HostHugePages: true}, p)
+	if huge.AvgWalkLat >= small.AvgWalkLat {
+		t.Fatalf("2MB host pages (%v) not below 4KB host pages (%v)", huge.AvgWalkLat, small.AvgWalkLat)
+	}
+	// ASAP still helps on top of host large pages (Fig 12).
+	asap := run(t, Scenario{Workload: tinySpec(), Virtualized: true, HostHugePages: true,
+		ASAP: ASAPConfig{Guest: core.Config{P1: true, P2: true}, Host: core.Config{P2: true}}}, p)
+	if asap.AvgWalkLat >= huge.AvgWalkLat {
+		t.Fatalf("ASAP over 2MB host pages (%v) not below its baseline (%v)", asap.AvgWalkLat, huge.AvgWalkLat)
+	}
+}
+
+func TestClusteredTLBReducesMPKIWithContiguity(t *testing.T) {
+	p := fastParams()
+	spec := tinySpec()
+	spec.Contig8 = 0.9
+	spec.BurstLen = 4 // spatial locality for the coalesced entries to pay off
+	conv := run(t, Scenario{Workload: spec}, p)
+	clus := run(t, Scenario{Workload: spec, ClusteredTLB: true}, p)
+	if clus.MPKI >= conv.MPKI {
+		t.Fatalf("clustered TLB MPKI %v not below conventional %v", clus.MPKI, conv.MPKI)
+	}
+}
+
+func TestClusteredTLBNeedsContiguity(t *testing.T) {
+	p := fastParams()
+	spec := tinySpec()
+	spec.Name = "tiny-nocontig"
+	spec.Contig8 = 0
+	spec.BurstLen = 4
+	conv := run(t, Scenario{Workload: spec}, p)
+	clus := run(t, Scenario{Workload: spec, ClusteredTLB: true}, p)
+	// Without physical contiguity the clustered TLB coalesces nothing; MPKI
+	// reduction must be marginal (paper §2.5's criticism of coalescing).
+	if conv.MPKI == 0 {
+		t.Fatal("degenerate MPKI")
+	}
+	if red := 1 - clus.MPKI/conv.MPKI; red > 0.10 {
+		t.Fatalf("clustered TLB reduced MPKI by %v without contiguity", red)
+	}
+}
+
+func TestFiveLevelWalksCostMore(t *testing.T) {
+	// A small dataset is fully covered by the PL4 page-walk cache, which
+	// hides the extra root level; shrink the PWC so walks actually start at
+	// the root (the big-memory regime that motivates §2.6).
+	p := fastParams()
+	p.PWC.PL4Entries = 1
+	p.PWC.PL3Entries = 1
+	p.PWC.PL2Entries = 4
+	four := run(t, Scenario{Workload: tinySpec()}, p)
+	p5 := p
+	p5.FiveLevel = true
+	five := run(t, Scenario{Workload: tinySpec()}, p5)
+	if five.AvgWalkLat <= four.AvgWalkLat {
+		t.Fatalf("5-level walk (%v) not above 4-level (%v)", five.AvgWalkLat, four.AvgWalkLat)
+	}
+	// The 5-level extension of §3.5: P1+P2+P3 prefetching recovers the added
+	// level's cost.
+	asap5 := run(t, Scenario{Workload: tinySpec(),
+		ASAP: ASAPConfig{Native: core.Config{P1: true, P2: true, P3: true}}}, p5)
+	if asap5.AvgWalkLat >= five.AvgWalkLat {
+		t.Fatalf("5-level ASAP (%v) not below its baseline (%v)", asap5.AvgWalkLat, five.AvgWalkLat)
+	}
+}
+
+func TestHolesReduceCoverage(t *testing.T) {
+	clean := fastParams()
+	holey := fastParams()
+	holey.HoleProb = 0.5
+	sc := Scenario{Workload: tinySpec(), ASAP: ASAPConfig{Native: core.Config{P1: true, P2: true}}}
+	a := run(t, sc, clean)
+	b := run(t, sc, holey)
+	ca := float64(a.PrefetchCovered) / float64(a.PrefetchIssued)
+	cb := float64(b.PrefetchCovered) / float64(b.PrefetchIssued)
+	if cb >= ca {
+		t.Fatalf("holes did not reduce prefetch coverage: %v vs %v", cb, ca)
+	}
+	if b.AvgWalkLat < a.AvgWalkLat {
+		t.Fatalf("holey ASAP (%v) beat clean ASAP (%v)", b.AvgWalkLat, a.AvgWalkLat)
+	}
+}
+
+func TestRangeRegisterCapacity(t *testing.T) {
+	// With a single register, only the largest VMA accelerates; the range
+	// hit rate must drop against ample registers.
+	ample := fastParams()
+	scarce := fastParams()
+	scarce.RangeRegisters = 1
+	sc := Scenario{Workload: tinySpec(), ASAP: ASAPConfig{Native: core.Config{P1: true}}}
+	a := run(t, sc, ample)
+	b := run(t, sc, scarce)
+	if b.RangeHitRate >= a.RangeHitRate {
+		t.Fatalf("1 register hit rate %v not below 16-register %v", b.RangeHitRate, a.RangeHitRate)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := fastParams()
+	sc := Scenario{Workload: tinySpec(), ASAP: ASAPConfig{Native: core.Config{P1: true, P2: true}}}
+	a := run(t, sc, p)
+	b := run(t, sc, p)
+	if a.AvgWalkLat != b.AvgWalkLat || a.Walks != b.Walks || a.MPKI != b.MPKI {
+		t.Fatalf("runs with identical seeds diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestScenarioNames(t *testing.T) {
+	sc := Scenario{Workload: tinySpec(), Virtualized: true, Colocated: true, HostHugePages: true,
+		ASAP: ASAPConfig{Guest: core.Config{P1: true}, Host: core.Config{P2: true}}}
+	want := "tiny/virt+colo+2MB/P1g+P2h"
+	if got := sc.Name(); got != want {
+		t.Fatalf("Name() = %q, want %q", got, want)
+	}
+	if (ASAPConfig{}).String() != "baseline" {
+		t.Fatal("empty ASAPConfig name")
+	}
+	if (ASAPConfig{Native: core.Config{P1: true}}).String() != "P1" {
+		t.Fatal("native ASAPConfig name")
+	}
+}
+
+func TestBuildCacheReuse(t *testing.T) {
+	ResetBuildCache()
+	p := fastParams()
+	a1, err := nativeFor(tinySpec(), false, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := nativeFor(tinySpec(), false, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("assembly not memoized")
+	}
+	ResetBuildCache()
+	a3, err := nativeFor(tinySpec(), false, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a3 {
+		t.Fatal("ResetBuildCache did not drop entries")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	// The headline motivation (Table 1): colocation, virtualization, and
+	// both together escalate walk latency monotonically.
+	p := fastParams()
+	iso := run(t, Scenario{Workload: tinySpec()}, p)
+	colo := run(t, Scenario{Workload: tinySpec(), Colocated: true}, p)
+	virt := run(t, Scenario{Workload: tinySpec(), Virtualized: true}, p)
+	both := run(t, Scenario{Workload: tinySpec(), Virtualized: true, Colocated: true}, p)
+	if !(iso.AvgWalkLat < colo.AvgWalkLat && colo.AvgWalkLat < virt.AvgWalkLat && virt.AvgWalkLat < both.AvgWalkLat) {
+		t.Fatalf("Table 1 escalation violated: %v / %v / %v / %v",
+			iso.AvgWalkLat, colo.AvgWalkLat, virt.AvgWalkLat, both.AvgWalkLat)
+	}
+}

@@ -1,0 +1,149 @@
+// Package stats provides the counters and table rendering used by the
+// experiment harness: per-(PT level × hierarchy level) walk-request
+// breakdowns (Fig 9), running means, and plain-text table output shaped like
+// the paper's tables and figure data.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+)
+
+// Breakdown counts page-walk requests by PT level and serving hierarchy
+// level — the data behind Fig 9.
+type Breakdown struct {
+	counts [6][cache.NumServedBy]uint64
+}
+
+// Add records one request to PT level `level` served at `served`.
+func (b *Breakdown) Add(level int, served cache.ServedBy) {
+	if level >= 1 && level <= 5 {
+		b.counts[level][served]++
+	}
+}
+
+// Count returns the recorded requests for (level, served).
+func (b *Breakdown) Count(level int, served cache.ServedBy) uint64 {
+	if level < 1 || level > 5 {
+		return 0
+	}
+	return b.counts[level][served]
+}
+
+// Total returns all requests recorded for a PT level.
+func (b *Breakdown) Total(level int) uint64 {
+	var t uint64
+	if level < 1 || level > 5 {
+		return 0
+	}
+	for _, c := range b.counts[level] {
+		t += c
+	}
+	return t
+}
+
+// Fraction returns the share of level's requests served at `served`, or 0 if
+// the level saw no requests.
+func (b *Breakdown) Fraction(level int, served cache.ServedBy) float64 {
+	t := b.Total(level)
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Count(level, served)) / float64(t)
+}
+
+// Mean is a running average.
+type Mean struct {
+	sum float64
+	n   uint64
+}
+
+// Add folds a sample in.
+func (m *Mean) Add(x float64) {
+	m.sum += x
+	m.n++
+}
+
+// Value returns the mean (0 for no samples).
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// N returns the sample count.
+func (m *Mean) N() uint64 { return m.n }
+
+// Sum returns the sample total.
+func (m *Mean) Sum() float64 { return m.sum }
+
+// Table accumulates rows of strings and renders them with aligned columns,
+// which is how cmd/paperrepro prints the paper's tables and figure series.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteString("\n")
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// F1 formats a float with one decimal.
+func F1(x float64) string { return fmt.Sprintf("%.1f", x) }
+
+// F2 formats a float with two decimals.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// Pct formats a fraction as a percentage with no decimals.
+func Pct(x float64) string { return fmt.Sprintf("%.0f%%", 100*x) }
+
+// Ratio formats a multiplicative factor like the paper's "2.7×".
+func Ratio(x float64) string { return fmt.Sprintf("%.1f×", x) }

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add(1, cache.ServedMem)
+	b.Add(1, cache.ServedMem)
+	b.Add(1, cache.ServedL1)
+	b.Add(4, cache.ServedPWC)
+	if b.Total(1) != 3 || b.Total(4) != 1 || b.Total(2) != 0 {
+		t.Fatalf("totals: %d/%d/%d", b.Total(1), b.Total(4), b.Total(2))
+	}
+	if got := b.Fraction(1, cache.ServedMem); got != 2.0/3 {
+		t.Fatalf("Fraction = %v", got)
+	}
+	if b.Fraction(2, cache.ServedL1) != 0 {
+		t.Fatal("empty level fraction not 0")
+	}
+	if b.Count(1, cache.ServedL1) != 1 {
+		t.Fatal("Count wrong")
+	}
+	// Out-of-range levels are ignored, not panics.
+	b.Add(0, cache.ServedL1)
+	b.Add(6, cache.ServedL1)
+	if b.Total(0) != 0 || b.Count(6, cache.ServedL1) != 0 {
+		t.Fatal("out-of-range levels recorded")
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Fatal("empty mean not 0")
+	}
+	m.Add(2)
+	m.Add(4)
+	if m.Value() != 3 || m.N() != 2 || m.Sum() != 6 {
+		t.Fatalf("mean=%v n=%d sum=%v", m.Value(), m.N(), m.Sum())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("workload", "latency")
+	tb.AddRow("mcf", "34.0")
+	tb.AddRow("memcached-400", "101.5")
+	tb.AddRow("short") // padded
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "workload") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator: %q", lines[1])
+	}
+	// Columns align: "latency" column starts at the same offset everywhere.
+	col := strings.Index(lines[0], "latency")
+	if got := strings.Index(lines[3], "101.5"); got != col {
+		t.Fatalf("column misaligned: %d vs %d\n%s", got, col, out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F1(3.14159) != "3.1" || F2(3.14159) != "3.14" {
+		t.Fatal("float formatters")
+	}
+	if Pct(0.256) != "26%" {
+		t.Fatalf("Pct = %q", Pct(0.256))
+	}
+	if Ratio(2.66) != "2.7×" {
+		t.Fatalf("Ratio = %q", Ratio(2.66))
+	}
+}

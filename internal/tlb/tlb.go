@@ -1,0 +1,163 @@
+// Package tlb models translation lookaside buffers: the two-level TLB of the
+// paper's Table 5 (64-entry 8-way L1, 1536-entry 6-way L2) with 4 KB and 2 MB
+// entries, and the Clustered TLB of §5.4.1 (Pham et al., HPCA'14) that
+// coalesces up to 8 translations into one entry.
+package tlb
+
+import (
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// PageClass distinguishes base-page from large-page TLB entries.
+type PageClass int
+
+// Supported page classes.
+const (
+	Page4K PageClass = iota
+	Page2M
+)
+
+// key encodes a page number and its class into a single tag. The class sits
+// in the low bit so 4 KB and 2 MB entries of nearby addresses spread across
+// sets.
+func key(pageNum uint64, class PageClass) uint64 {
+	return pageNum<<1 | uint64(class)
+}
+
+// NeighborFunc reports the physical frame mapping a virtual page, for the
+// coalescing probe a Clustered TLB performs at fill time. ok is false for
+// unmapped pages.
+type NeighborFunc func(vpn uint64) (pfn uint64, ok bool)
+
+// Unit is a single TLB structure. Insert receives the filled page's frame and
+// a neighbour probe so coalescing TLBs can pack adjacent translations.
+type Unit interface {
+	Lookup(pageNum uint64, class PageClass) bool
+	Insert(pageNum uint64, class PageClass, pfn uint64, neighbors NeighborFunc)
+	Flush()
+}
+
+// TLB is a conventional set-associative TLB.
+type TLB struct {
+	arr *cache.SetAssoc
+}
+
+// New returns a TLB with the given entry count and associativity.
+func New(entries, ways int) *TLB {
+	return &TLB{arr: cache.NewSetAssoc(entries, ways)}
+}
+
+// Lookup implements Unit.
+func (t *TLB) Lookup(pageNum uint64, class PageClass) bool {
+	return t.arr.Lookup(key(pageNum, class))
+}
+
+// Insert implements Unit; a conventional TLB ignores the neighbour probe.
+func (t *TLB) Insert(pageNum uint64, class PageClass, pfn uint64, neighbors NeighborFunc) {
+	t.arr.Insert(key(pageNum, class))
+}
+
+// Flush implements Unit.
+func (t *TLB) Flush() { t.arr.Flush() }
+
+// TwoLevel is the L1 + L2 (STLB) arrangement of Table 5. An L2 hit refills
+// the L1 entry.
+type TwoLevel struct {
+	L1 Unit
+	L2 Unit
+
+	Accesses uint64 // lookups performed
+	L1Misses uint64
+	L2Misses uint64 // misses in both levels (walk triggers)
+}
+
+// NewTwoLevel returns the paper's default TLB system: 64-entry 8-way L1 and
+// a 1536-entry 6-way second level. If clusteredL2 is true the second level
+// coalesces translations as in §5.4.1.
+func NewTwoLevel(clusteredL2 bool) *TwoLevel {
+	var l2 Unit
+	if clusteredL2 {
+		l2 = NewClustered(1536, 6)
+	} else {
+		l2 = New(1536, 6)
+	}
+	return &TwoLevel{L1: New(64, 8), L2: l2}
+}
+
+// Lookup probes both levels for the page of va under the given class,
+// refilling L1 from L2 on an L2 hit. It returns false when both levels miss
+// (a page walk is required).
+func (t *TwoLevel) Lookup(pageNum uint64, class PageClass, pfn uint64, neighbors NeighborFunc) bool {
+	t.Accesses++
+	if t.L1.Lookup(pageNum, class) {
+		return true
+	}
+	t.L1Misses++
+	if t.L2.Lookup(pageNum, class) {
+		t.L1.Insert(pageNum, class, pfn, neighbors)
+		return true
+	}
+	t.L2Misses++
+	return false
+}
+
+// Insert fills both levels after a successful walk.
+func (t *TwoLevel) Insert(pageNum uint64, class PageClass, pfn uint64, neighbors NeighborFunc) {
+	t.L1.Insert(pageNum, class, pfn, neighbors)
+	t.L2.Insert(pageNum, class, pfn, neighbors)
+}
+
+// LookupVA probes both page-size classes for va, counting a single TLB
+// access. As in real hardware, the page size of a translation is unknown
+// before the lookup, so every structure is checked (paper §2.5).
+func (t *TwoLevel) LookupVA(va mem.VirtAddr, pfn uint64, neighbors NeighborFunc) bool {
+	t.Accesses++
+	k4, k2 := PageNumber(va, Page4K), PageNumber(va, Page2M)
+	if t.L1.Lookup(k4, Page4K) || t.L1.Lookup(k2, Page2M) {
+		return true
+	}
+	t.L1Misses++
+	if t.L2.Lookup(k4, Page4K) {
+		t.L1.Insert(k4, Page4K, pfn, neighbors)
+		return true
+	}
+	if t.L2.Lookup(k2, Page2M) {
+		t.L1.Insert(k2, Page2M, pfn, nil)
+		return true
+	}
+	t.L2Misses++
+	return false
+}
+
+// InsertVA fills both levels after a walk that resolved va, under the page
+// size the walk discovered.
+func (t *TwoLevel) InsertVA(va mem.VirtAddr, huge bool, pfn uint64, neighbors NeighborFunc) {
+	if huge {
+		t.Insert(PageNumber(va, Page2M), Page2M, pfn, nil)
+		return
+	}
+	t.Insert(PageNumber(va, Page4K), Page4K, pfn, neighbors)
+}
+
+// Flush empties both levels (context switch).
+func (t *TwoLevel) Flush() {
+	t.L1.Flush()
+	t.L2.Flush()
+}
+
+// MissRatio returns the fraction of lookups that missed both levels.
+func (t *TwoLevel) MissRatio() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.L2Misses) / float64(t.Accesses)
+}
+
+// PageNumber returns the page number of va under class.
+func PageNumber(va mem.VirtAddr, class PageClass) uint64 {
+	if class == Page2M {
+		return uint64(va) >> mem.HugeShift
+	}
+	return va.VPN()
+}

@@ -1,0 +1,249 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestTLBBasic(t *testing.T) {
+	u := New(64, 8)
+	if u.Lookup(5, Page4K) {
+		t.Fatal("hit in empty TLB")
+	}
+	u.Insert(5, Page4K, 99, nil)
+	if !u.Lookup(5, Page4K) {
+		t.Fatal("miss after insert")
+	}
+	// Same page number, different class, is a different entry.
+	if u.Lookup(5, Page2M) {
+		t.Fatal("4K entry matched a 2M lookup")
+	}
+	u.Flush()
+	if u.Lookup(5, Page4K) {
+		t.Fatal("hit after flush")
+	}
+}
+
+func TestTwoLevelRefill(t *testing.T) {
+	tl := NewTwoLevel(false)
+	tl.Insert(7, Page4K, 1, nil)
+	if !tl.Lookup(7, Page4K, 1, nil) {
+		t.Fatal("miss after insert")
+	}
+	// Evict from L1 by filling 8 other entries in its set (64-entry 8-way =
+	// 8 sets; same set means same low 3 bits of the key).
+	for i := uint64(1); i <= 8; i++ {
+		tl.Insert(7+i*8, Page4K, 1, nil)
+	}
+	if !tl.Lookup(7, Page4K, 1, nil) {
+		t.Fatal("entry lost from L2 as well")
+	}
+	if tl.L1Misses == 0 {
+		t.Fatal("expected at least one L1 miss")
+	}
+	if tl.L2Misses != 0 {
+		t.Fatalf("unexpected L2 misses: %d", tl.L2Misses)
+	}
+}
+
+func TestTwoLevelMissCounting(t *testing.T) {
+	tl := NewTwoLevel(false)
+	for i := uint64(0); i < 100; i++ {
+		tl.Lookup(i, Page4K, 0, nil)
+	}
+	if tl.Accesses != 100 || tl.L2Misses != 100 {
+		t.Fatalf("accesses=%d l2misses=%d", tl.Accesses, tl.L2Misses)
+	}
+	if tl.MissRatio() != 1.0 {
+		t.Fatalf("MissRatio = %v", tl.MissRatio())
+	}
+	empty := NewTwoLevel(false)
+	if empty.MissRatio() != 0 {
+		t.Fatal("MissRatio of unused TLB not 0")
+	}
+}
+
+func TestPageNumber(t *testing.T) {
+	va := mem.VirtAddr(3*mem.HugeSize + 5*mem.PageSize + 17)
+	if PageNumber(va, Page4K) != uint64(va)>>mem.PageShift {
+		t.Fatal("4K page number")
+	}
+	if PageNumber(va, Page2M) != 3 {
+		t.Fatal("2M page number")
+	}
+}
+
+func TestClusteredCoalescesContiguous(t *testing.T) {
+	c := NewClustered(64, 4)
+	// Perfectly clustered mapping: pfn = vpn (identity).
+	identity := func(vpn uint64) (uint64, bool) { return vpn, true }
+	c.Insert(8, Page4K, 8, identity)
+	// All 8 pages of the cluster [8,16) must now hit.
+	for vpn := uint64(8); vpn < 16; vpn++ {
+		if !c.Lookup(vpn, Page4K) {
+			t.Fatalf("clustered page %d missed", vpn)
+		}
+	}
+	if c.Lookup(16, Page4K) {
+		t.Fatal("page outside the cluster hit")
+	}
+	if c.Coalesced() != 7 {
+		t.Fatalf("Coalesced = %d, want 7", c.Coalesced())
+	}
+}
+
+func TestClusteredScatteredDegenerates(t *testing.T) {
+	c := NewClustered(64, 4)
+	// Scattered mapping: each vpn maps to a far-apart frame.
+	scattered := func(vpn uint64) (uint64, bool) { return vpn * 1000, true }
+	c.Insert(8, Page4K, 8000, scattered)
+	if !c.Lookup(8, Page4K) {
+		t.Fatal("triggering page missed")
+	}
+	for vpn := uint64(9); vpn < 16; vpn++ {
+		if c.Lookup(vpn, Page4K) {
+			t.Fatalf("scattered neighbour %d wrongly coalesced", vpn)
+		}
+	}
+	if c.Coalesced() != 0 {
+		t.Fatalf("Coalesced = %d, want 0", c.Coalesced())
+	}
+}
+
+func TestClusteredPartialCluster(t *testing.T) {
+	c := NewClustered(64, 4)
+	// Half the cluster is physically contiguous with the trigger, half not.
+	mapping := func(vpn uint64) (uint64, bool) {
+		if vpn < 12 {
+			return vpn, true // frames 8..11: cluster 1
+		}
+		return vpn + 8000, true
+	}
+	c.Insert(8, Page4K, 8, mapping)
+	for vpn := uint64(8); vpn < 12; vpn++ {
+		if !c.Lookup(vpn, Page4K) {
+			t.Fatalf("contiguous page %d missed", vpn)
+		}
+	}
+	for vpn := uint64(12); vpn < 16; vpn++ {
+		if c.Lookup(vpn, Page4K) {
+			t.Fatalf("non-contiguous page %d hit", vpn)
+		}
+	}
+}
+
+func TestClusteredUnmappedNeighbors(t *testing.T) {
+	c := NewClustered(64, 4)
+	mapping := func(vpn uint64) (uint64, bool) {
+		if vpn == 9 {
+			return 0, false // hole in the cluster
+		}
+		return vpn, true
+	}
+	c.Insert(8, Page4K, 8, mapping)
+	if c.Lookup(9, Page4K) {
+		t.Fatal("unmapped neighbour wrongly present")
+	}
+	if !c.Lookup(10, Page4K) {
+		t.Fatal("mapped neighbour missing")
+	}
+}
+
+func TestClusteredNilNeighbors(t *testing.T) {
+	c := NewClustered(64, 4)
+	c.Insert(20, Page4K, 77, nil)
+	if !c.Lookup(20, Page4K) {
+		t.Fatal("triggering page missed with nil neighbour probe")
+	}
+	if c.Lookup(21, Page4K) {
+		t.Fatal("neighbour hit without probe")
+	}
+}
+
+func TestClusteredIgnoresLargePages(t *testing.T) {
+	c := NewClustered(64, 4)
+	c.Insert(5, Page2M, 5, nil)
+	if c.Lookup(5, Page2M) {
+		t.Fatal("clustered TLB should not hold 2M entries")
+	}
+}
+
+func TestClusteredEvictionLRU(t *testing.T) {
+	c := NewClustered(4, 4) // one set
+	identity := func(vpn uint64) (uint64, bool) { return vpn, true }
+	for i := uint64(0); i < 4; i++ {
+		c.Insert(i*8, Page4K, i*8, identity)
+	}
+	c.Lookup(0, Page4K) // cluster 0 becomes MRU
+	c.Insert(100*8, Page4K, 800, identity)
+	if !c.Lookup(0, Page4K) {
+		t.Fatal("MRU cluster evicted")
+	}
+	if c.Lookup(8, Page4K) {
+		t.Fatal("LRU cluster survived")
+	}
+}
+
+func TestClusteredSameVClusterNewPCluster(t *testing.T) {
+	c := NewClustered(64, 4)
+	c.Insert(8, Page4K, 8, func(vpn uint64) (uint64, bool) { return vpn, true })
+	// Remap: same virtual cluster now points somewhere else entirely.
+	c.Insert(9, Page4K, 9000, func(vpn uint64) (uint64, bool) {
+		if vpn == 9 {
+			return 9000, true
+		}
+		return vpn, true
+	})
+	if !c.Lookup(9, Page4K) {
+		t.Fatal("new mapping missing")
+	}
+	if c.Lookup(8, Page4K) {
+		t.Fatal("stale physical cluster contents survived remap")
+	}
+}
+
+func TestClusteredReachExceedsConventional(t *testing.T) {
+	// With perfectly contiguous mappings, a clustered TLB of equal entry
+	// count must achieve a higher hit rate over a working set 4× its entry
+	// count.
+	conv := New(64, 4)
+	clus := NewClustered(64, 4)
+	identity := func(vpn uint64) (uint64, bool) { return vpn, true }
+	miss := func(u Unit) int {
+		misses := 0
+		for pass := 0; pass < 4; pass++ {
+			for vpn := uint64(0); vpn < 256; vpn++ {
+				if !u.Lookup(vpn, Page4K) {
+					misses++
+					u.Insert(vpn, Page4K, vpn, identity)
+				}
+			}
+		}
+		return misses
+	}
+	if cm, km := miss(conv), miss(clus); km >= cm {
+		t.Fatalf("clustered misses %d not below conventional %d", km, cm)
+	}
+}
+
+func TestClusteredPropertyLookupOnlyInsertedClusters(t *testing.T) {
+	c := NewClustered(256, 4)
+	inserted := map[uint64]bool{}
+	identity := func(vpn uint64) (uint64, bool) { return vpn, true }
+	f := func(raw uint64) bool {
+		vpn := raw % (1 << 16)
+		c.Insert(vpn, Page4K, vpn, identity)
+		inserted[vpn/ClusterSpan] = true
+		// Any hit must belong to an inserted cluster.
+		probe := raw % (1 << 17)
+		if c.Lookup(probe, Page4K) && !inserted[probe/ClusterSpan] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

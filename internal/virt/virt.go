@@ -1,0 +1,104 @@
+// Package virt assembles the nested-translation substrate for virtualized
+// runs: the guest-physical → machine mapping (with hypervisor pinning for
+// ASAP's guest page-table regions), the host (EPT) page table over
+// guest-physical space, and the guest page table whose nodes live in
+// guest-physical frames.
+//
+// The key piece of paper §3.6 modelled here is double contiguity: for guest
+// ASAP to compute machine addresses with base-plus-offset arithmetic, the
+// guest's sorted page-table regions must be contiguous in guest-physical
+// space *and* pinned contiguously in machine memory (the guest requests this
+// from the hypervisor with vmcall). GPAMap.Pin provides exactly that.
+package virt
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/pt"
+	"repro/internal/rng"
+)
+
+// GPAMap maps guest-physical frames to machine frames. Unpinned guest memory
+// is scattered pseudo-randomly over a machine region, at 4 KB granularity
+// normally or 2 MB granularity when the hypervisor backs the guest with
+// large pages (Fig 12). Pinned ranges translate linearly.
+type GPAMap struct {
+	base mem.Frame
+	span uint64 // machine frames available for scattered backing
+	huge bool
+	salt uint64
+	pins []pin
+}
+
+type pin struct {
+	gStart, gEnd uint64 // guest frame range [gStart, gEnd)
+	mBase        mem.Frame
+}
+
+// NewGPAMap returns a mapping backed by span machine frames at base. When
+// huge is true, scattering happens at 2 MB granularity (512-frame chunks stay
+// together), modelling a hypervisor that allocates guest RAM in large pages.
+func NewGPAMap(base mem.Frame, span uint64, huge bool, seed uint64) *GPAMap {
+	if span == 0 {
+		panic("virt: empty GPA map span")
+	}
+	if huge && span < mem.NodeSpan {
+		panic("virt: huge GPA map needs at least one 2 MB chunk")
+	}
+	return &GPAMap{base: base, span: span, huge: huge, salt: seed}
+}
+
+// Pin maps the guest frame range [gFrame, gFrame+count) linearly onto machine
+// frames starting at mBase — the hypervisor-side guarantee behind guest ASAP.
+// Pinned ranges must not overlap.
+func (m *GPAMap) Pin(gFrame, count uint64, mBase mem.Frame) error {
+	if count == 0 {
+		return fmt.Errorf("virt: empty pin")
+	}
+	for _, p := range m.pins {
+		if gFrame < p.gEnd && p.gStart < gFrame+count {
+			return fmt.Errorf("virt: pin [%d,%d) overlaps [%d,%d)", gFrame, gFrame+count, p.gStart, p.gEnd)
+		}
+	}
+	m.pins = append(m.pins, pin{gStart: gFrame, gEnd: gFrame + count, mBase: mBase})
+	return nil
+}
+
+// TranslateFrame maps a guest frame number to its machine frame.
+func (m *GPAMap) TranslateFrame(gframe uint64) mem.Frame {
+	for _, p := range m.pins {
+		if gframe >= p.gStart && gframe < p.gEnd {
+			return p.mBase + mem.Frame(gframe-p.gStart)
+		}
+	}
+	if m.huge {
+		chunks := m.span >> mem.NodeShift
+		chunk := rng.Mix64(gframe>>mem.NodeShift^m.salt) % chunks
+		return m.base + mem.Frame(chunk<<mem.NodeShift|gframe&(mem.NodeSpan-1))
+	}
+	return m.base + mem.Frame(rng.Mix64(gframe^m.salt)%m.span)
+}
+
+// Translate maps a guest-physical byte address to its machine address.
+func (m *GPAMap) Translate(gpa mem.PhysAddr) mem.PhysAddr {
+	return m.TranslateFrame(uint64(gpa)>>mem.PageShift).Addr() + mem.PhysAddr(uint64(gpa)&(mem.PageSize-1))
+}
+
+// Machine bundles the pieces of one virtualized deployment that the nested
+// walker needs.
+type Machine struct {
+	GuestPT *pt.Table // guest virtual → guest physical (presence)
+	HostPT  *pt.Table // guest physical → machine (the EPT)
+	Map     *GPAMap
+}
+
+// EPTConfig returns the host page-table geometry: 4 levels, with 2 MB leaves
+// when the hypervisor uses large pages.
+func EPTConfig(hugePages bool) pt.Config {
+	leaf := 1
+	if hugePages {
+		leaf = 2
+	}
+	return pt.Config{Levels: 4, LeafLevel: leaf}
+}

@@ -1,0 +1,133 @@
+package virt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestPinTranslatesLinearly(t *testing.T) {
+	m := NewGPAMap(1<<20, 1<<18, false, 1)
+	if err := m.Pin(100, 50, mem.Frame(777)); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		if got := m.TranslateFrame(100 + i); got != mem.Frame(777+i) {
+			t.Fatalf("pinned frame %d → %d, want %d", 100+i, got, 777+i)
+		}
+	}
+	// Byte offsets survive translation.
+	gpa := mem.PhysAddr(100*mem.PageSize + 123)
+	if got := m.Translate(gpa); got != mem.Frame(777).Addr()+123 {
+		t.Fatalf("Translate(%#x) = %#x", uint64(gpa), uint64(got))
+	}
+}
+
+func TestPinRejectsOverlap(t *testing.T) {
+	m := NewGPAMap(1<<20, 1<<18, false, 1)
+	if err := m.Pin(100, 50, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Pin(149, 10, 1000); err == nil {
+		t.Fatal("overlapping pin accepted")
+	}
+	if err := m.Pin(0, 0, 0); err == nil {
+		t.Fatal("empty pin accepted")
+	}
+	if err := m.Pin(150, 10, 1000); err != nil {
+		t.Fatalf("adjacent pin rejected: %v", err)
+	}
+}
+
+func TestScatterStaysInSpan(t *testing.T) {
+	base, span := mem.Frame(1<<20), uint64(1<<16)
+	m := NewGPAMap(base, span, false, 3)
+	f := func(gframe uint64) bool {
+		got := m.TranslateFrame(gframe % (1 << 30))
+		return got >= base && got < base+mem.Frame(span)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterDeterministic(t *testing.T) {
+	a := NewGPAMap(0, 1<<16, false, 5)
+	b := NewGPAMap(0, 1<<16, false, 5)
+	c := NewGPAMap(0, 1<<16, false, 6)
+	same, diff := true, false
+	for g := uint64(0); g < 1000; g++ {
+		if a.TranslateFrame(g) != b.TranslateFrame(g) {
+			same = false
+		}
+		if a.TranslateFrame(g) != c.TranslateFrame(g) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different mappings")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical mappings")
+	}
+}
+
+func TestHugeGranuleKeepsChunksTogether(t *testing.T) {
+	m := NewGPAMap(0, 1<<18, true, 7)
+	// All 512 frames of a guest 2 MB chunk must be machine-contiguous and
+	// 2 MB-aligned as a group.
+	base := m.TranslateFrame(512 * 3)
+	if uint64(base)&(mem.NodeSpan-1) != 0 {
+		t.Fatalf("chunk base %d not 2MB aligned", base)
+	}
+	for i := uint64(0); i < 512; i++ {
+		if got := m.TranslateFrame(512*3 + i); got != base+mem.Frame(i) {
+			t.Fatalf("huge chunk split at %d: %d vs %d", i, got, base+mem.Frame(i))
+		}
+	}
+	// Different chunks scatter.
+	if m.TranslateFrame(0) == base {
+		t.Fatal("distinct chunks collided trivially")
+	}
+}
+
+func TestSmallGranuleScatters(t *testing.T) {
+	m := NewGPAMap(0, 1<<18, false, 9)
+	adjacent := 0
+	for g := uint64(0); g < 1000; g++ {
+		if m.TranslateFrame(g+1) == m.TranslateFrame(g)+1 {
+			adjacent++
+		}
+	}
+	if adjacent > 10 {
+		t.Fatalf("4K granule preserved %d adjacencies of 1000", adjacent)
+	}
+}
+
+func TestEPTConfig(t *testing.T) {
+	small := EPTConfig(false)
+	if small.Levels != 4 || small.LeafLevel != 1 {
+		t.Fatalf("small EPT config: %+v", small)
+	}
+	huge := EPTConfig(true)
+	if huge.Levels != 4 || huge.LeafLevel != 2 {
+		t.Fatalf("huge EPT config: %+v", huge)
+	}
+}
+
+func TestNewGPAMapPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero span": func() { NewGPAMap(0, 0, false, 1) },
+		"tiny huge": func() { NewGPAMap(0, 8, true, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

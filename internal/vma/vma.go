@@ -1,0 +1,175 @@
+// Package vma models per-process virtual memory areas: the non-overlapping
+// virtual address ranges (heap, stack, mapped files, libraries) that an OS
+// tracks in its VMA tree. ASAP's range registers describe exactly these
+// ranges, and the paper's Table 2 statistics (VMA counts, footprint coverage)
+// are computed over them.
+package vma
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Kind classifies a VMA by its role in the process image.
+type Kind int
+
+// VMA kinds. Heap and MMap areas hold application datasets and are the
+// prefetch targets; Lib and Stack areas are small and rarely miss the TLB
+// (paper §3.2).
+const (
+	Heap Kind = iota
+	Stack
+	Lib
+	MMap
+	GuestRAM // the single host VMA backing an entire guest VM (paper §3.6)
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Heap:
+		return "heap"
+	case Stack:
+		return "stack"
+	case Lib:
+		return "lib"
+	case MMap:
+		return "mmap"
+	case GuestRAM:
+		return "guest-ram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// VMA is a contiguous virtual address range [Start, End).
+type VMA struct {
+	Start mem.VirtAddr
+	End   mem.VirtAddr
+	Name  string
+	Kind  Kind
+}
+
+// Bytes returns the size of the area in bytes.
+func (v *VMA) Bytes() uint64 { return uint64(v.End - v.Start) }
+
+// Pages returns the size of the area in base pages.
+func (v *VMA) Pages() uint64 { return v.Bytes() >> mem.PageShift }
+
+// Contains reports whether va falls inside the area.
+func (v *VMA) Contains(va mem.VirtAddr) bool { return va >= v.Start && va < v.End }
+
+// String formats the area for diagnostics.
+func (v *VMA) String() string {
+	return fmt.Sprintf("%s[%#x-%#x %s]", v.Name, uint64(v.Start), uint64(v.End), v.Kind)
+}
+
+// Space is an ordered, non-overlapping set of VMAs — the simulator's
+// equivalent of the Linux VMA tree.
+type Space struct {
+	vmas []*VMA // sorted by Start
+}
+
+// NewSpace returns an empty address-space layout.
+func NewSpace() *Space { return &Space{} }
+
+// Insert adds the area, rejecting empty, misaligned or overlapping ranges.
+func (s *Space) Insert(v *VMA) error {
+	if v.End <= v.Start {
+		return fmt.Errorf("vma: empty range %s", v)
+	}
+	if v.Start.PageOffset() != 0 || v.End.PageOffset() != 0 {
+		return fmt.Errorf("vma: range %s not page aligned", v)
+	}
+	i := sort.Search(len(s.vmas), func(i int) bool { return s.vmas[i].Start >= v.Start })
+	if i > 0 && s.vmas[i-1].End > v.Start {
+		return fmt.Errorf("vma: %s overlaps %s", v, s.vmas[i-1])
+	}
+	if i < len(s.vmas) && s.vmas[i].Start < v.End {
+		return fmt.Errorf("vma: %s overlaps %s", v, s.vmas[i])
+	}
+	s.vmas = append(s.vmas, nil)
+	copy(s.vmas[i+1:], s.vmas[i:])
+	s.vmas[i] = v
+	return nil
+}
+
+// Find returns the area containing va, or nil.
+func (s *Space) Find(va mem.VirtAddr) *VMA {
+	i := sort.Search(len(s.vmas), func(i int) bool { return s.vmas[i].End > va })
+	if i < len(s.vmas) && s.vmas[i].Contains(va) {
+		return s.vmas[i]
+	}
+	return nil
+}
+
+// Grow extends v upward by bytes (the brk/sbrk direction of paper §3.7.2),
+// failing if the extension would collide with the next area.
+func (s *Space) Grow(v *VMA, bytes uint64) error {
+	if bytes%mem.PageSize != 0 {
+		return fmt.Errorf("vma: growth of %d bytes not page aligned", bytes)
+	}
+	i := sort.Search(len(s.vmas), func(i int) bool { return s.vmas[i].Start >= v.Start })
+	if i >= len(s.vmas) || s.vmas[i] != v {
+		return fmt.Errorf("vma: %s not in this space", v)
+	}
+	newEnd := v.End + mem.VirtAddr(bytes)
+	if i+1 < len(s.vmas) && s.vmas[i+1].Start < newEnd {
+		return fmt.Errorf("vma: growing %s collides with %s", v, s.vmas[i+1])
+	}
+	v.End = newEnd
+	return nil
+}
+
+// VMAs returns the areas in address order. The returned slice must not be
+// modified.
+func (s *Space) VMAs() []*VMA { return s.vmas }
+
+// Len returns the number of areas.
+func (s *Space) Len() int { return len(s.vmas) }
+
+// TotalBytes returns the summed size of all areas.
+func (s *Space) TotalBytes() uint64 {
+	var t uint64
+	for _, v := range s.vmas {
+		t += v.Bytes()
+	}
+	return t
+}
+
+// CoverageCount returns how many areas (largest first) are needed to cover at
+// least frac of the total footprint — Table 2's "VMAs for 99% footprint
+// coverage" statistic.
+func (s *Space) CoverageCount(frac float64) int {
+	if len(s.vmas) == 0 {
+		return 0
+	}
+	sizes := make([]uint64, len(s.vmas))
+	for i, v := range s.vmas {
+		sizes[i] = v.Bytes()
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] > sizes[j] })
+	target := frac * float64(s.TotalBytes())
+	var sum float64
+	for i, b := range sizes {
+		sum += float64(b)
+		if sum >= target {
+			return i + 1
+		}
+	}
+	return len(sizes)
+}
+
+// Largest returns the n largest areas, largest first. It is used to pick
+// ASAP's prefetch-target VMAs when range registers are scarce (paper §3.4).
+func (s *Space) Largest(n int) []*VMA {
+	out := make([]*VMA, len(s.vmas))
+	copy(out, s.vmas)
+	sort.Slice(out, func(i, j int) bool { return out[i].Bytes() > out[j].Bytes() })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package vma
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func mk(start, end uint64, name string, k Kind) *VMA {
+	return &VMA{Start: mem.VirtAddr(start), End: mem.VirtAddr(end), Name: name, Kind: k}
+}
+
+func TestInsertAndFind(t *testing.T) {
+	s := NewSpace()
+	heap := mk(mem.PageSize, 10*mem.PageSize, "heap", Heap)
+	lib := mk(20*mem.PageSize, 22*mem.PageSize, "lib", Lib)
+	if err := s.Insert(heap); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(lib); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Find(mem.VirtAddr(5 * mem.PageSize)); got != heap {
+		t.Fatalf("Find in heap = %v", got)
+	}
+	if got := s.Find(mem.VirtAddr(21 * mem.PageSize)); got != lib {
+		t.Fatalf("Find in lib = %v", got)
+	}
+	if got := s.Find(mem.VirtAddr(15 * mem.PageSize)); got != nil {
+		t.Fatalf("Find in gap = %v, want nil", got)
+	}
+	if got := s.Find(mem.VirtAddr(10 * mem.PageSize)); got != nil {
+		t.Fatalf("Find at exclusive end = %v, want nil", got)
+	}
+}
+
+func TestInsertRejectsOverlap(t *testing.T) {
+	s := NewSpace()
+	if err := s.Insert(mk(0, 10*mem.PageSize, "a", Heap)); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*VMA{
+		mk(5*mem.PageSize, 15*mem.PageSize, "tail-overlap", Heap),
+		mk(0, 10*mem.PageSize, "exact", Heap),
+		mk(2*mem.PageSize, 3*mem.PageSize, "inside", Heap),
+	}
+	for _, c := range cases {
+		if err := s.Insert(c); err == nil {
+			t.Fatalf("Insert(%v) succeeded, want overlap error", c)
+		}
+	}
+	// Adjacent is fine.
+	if err := s.Insert(mk(10*mem.PageSize, 11*mem.PageSize, "adjacent", Lib)); err != nil {
+		t.Fatalf("adjacent insert failed: %v", err)
+	}
+}
+
+func TestInsertRejectsInvalid(t *testing.T) {
+	s := NewSpace()
+	if err := s.Insert(mk(mem.PageSize, mem.PageSize, "empty", Heap)); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if err := s.Insert(mk(100, mem.PageSize, "unaligned", Heap)); err == nil {
+		t.Fatal("unaligned range accepted")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	s := NewSpace()
+	heap := mk(0, 4*mem.PageSize, "heap", Heap)
+	next := mk(8*mem.PageSize, 9*mem.PageSize, "next", Lib)
+	if err := s.Insert(heap); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(next); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grow(heap, 4*mem.PageSize); err != nil {
+		t.Fatalf("grow into gap: %v", err)
+	}
+	if heap.End != mem.VirtAddr(8*mem.PageSize) {
+		t.Fatalf("heap end = %#x", uint64(heap.End))
+	}
+	if err := s.Grow(heap, mem.PageSize); err == nil {
+		t.Fatal("grow into neighbour succeeded")
+	}
+	if err := s.Grow(heap, 100); err == nil {
+		t.Fatal("unaligned growth accepted")
+	}
+	foreign := mk(100*mem.PageSize, 101*mem.PageSize, "foreign", Heap)
+	if err := s.Grow(foreign, mem.PageSize); err == nil {
+		t.Fatal("growing a VMA not in the space succeeded")
+	}
+}
+
+func TestCoverageCount(t *testing.T) {
+	s := NewSpace()
+	// One huge heap plus many tiny libraries: 1 VMA covers 99%.
+	if err := s.Insert(mk(0, 1000*mem.PageSize, "heap", Heap)); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5; i++ {
+		base := (2000 + 2*i) * mem.PageSize
+		if err := s.Insert(mk(base, base+mem.PageSize, "lib", Lib)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.CoverageCount(0.99); got != 1 {
+		t.Fatalf("CoverageCount(0.99) = %d, want 1", got)
+	}
+	if got := s.CoverageCount(1.0); got != 6 {
+		t.Fatalf("CoverageCount(1.0) = %d, want 6", got)
+	}
+	if got := NewSpace().CoverageCount(0.99); got != 0 {
+		t.Fatalf("empty CoverageCount = %d", got)
+	}
+}
+
+func TestLargest(t *testing.T) {
+	s := NewSpace()
+	small := mk(0, mem.PageSize, "small", Lib)
+	big := mk(10*mem.PageSize, 110*mem.PageSize, "big", Heap)
+	mid := mk(200*mem.PageSize, 210*mem.PageSize, "mid", MMap)
+	for _, v := range []*VMA{small, big, mid} {
+		if err := s.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top := s.Largest(2)
+	if len(top) != 2 || top[0] != big || top[1] != mid {
+		t.Fatalf("Largest(2) = %v", top)
+	}
+	if got := s.Largest(10); len(got) != 3 {
+		t.Fatalf("Largest(10) returned %d", len(got))
+	}
+}
+
+func TestTotalBytesAndLen(t *testing.T) {
+	s := NewSpace()
+	if err := s.Insert(mk(0, 3*mem.PageSize, "a", Heap)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(mk(10*mem.PageSize, 11*mem.PageSize, "b", Lib)); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalBytes() != 4*mem.PageSize {
+		t.Fatalf("TotalBytes = %d", s.TotalBytes())
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestPropertyFindMatchesContains(t *testing.T) {
+	s := NewSpace()
+	for i := uint64(0); i < 32; i++ {
+		base := i * 10 * mem.PageSize
+		if err := s.Insert(mk(base, base+3*mem.PageSize, "v", Heap)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(raw uint64) bool {
+		va := mem.VirtAddr(raw % (320 * 10 * mem.PageSize))
+		found := s.Find(va)
+		for _, v := range s.VMAs() {
+			if v.Contains(va) {
+				return found == v
+			}
+		}
+		return found == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Heap: "heap", Stack: "stack", Lib: "lib", MMap: "mmap", GuestRAM: "guest-ram",
+	} {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind produced empty string")
+	}
+}

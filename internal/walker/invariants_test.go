@@ -1,0 +1,158 @@
+package walker
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+func TestPropertyPrefetchOnlyConfiguredLevels(t *testing.T) {
+	// Whatever address is walked, prefetch coverage may only appear at the
+	// levels the ASAP configuration selects.
+	r := newRig(t, core.Config{P1: true}, 0)
+	w := r.walker()
+	var res Result
+	f := func(raw uint64) bool {
+		va := r.area.Start + mem.VirtAddr(raw%r.area.Bytes())
+		w.Walk(0, r.table, va, &res)
+		for _, a := range res.Accesses[:res.N] {
+			if a.Prefetched && a.Level != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyWalkCyclesMatchAccessSum(t *testing.T) {
+	// The walk's total latency must equal the PWC lookup plus the per-access
+	// costs it reports — the accounting the paper's §4 defines.
+	r := newRig(t, core.Config{P1: true, P2: true}, 0)
+	w := r.walker()
+	var res Result
+	f := func(raw uint64) bool {
+		va := r.area.Start + mem.VirtAddr(raw%r.area.Bytes())
+		w.Walk(0, r.table, va, &res)
+		sum := w.PWC.Latency()
+		for _, a := range res.Accesses[:res.N] {
+			sum += int(a.Cycles)
+		}
+		return sum == res.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAccessOrderRootFirst(t *testing.T) {
+	r := newRig(t, core.Config{}, 0)
+	w := r.walker()
+	var res Result
+	f := func(raw uint64) bool {
+		va := r.area.Start + mem.VirtAddr(raw%r.area.Bytes())
+		w.Walk(0, r.table, va, &res)
+		prev := int8(5)
+		for _, a := range res.Accesses[:res.N] {
+			if a.Level >= prev {
+				return false
+			}
+			prev = a.Level
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedDeterministic(t *testing.T) {
+	mk := func() []int {
+		r := newNestedRig(t, core.Config{P1: true, P2: true}, core.Config{P1: true}, false)
+		w := r.walker()
+		var res Result
+		var cycles []int
+		for vpn := uint64(0); vpn < 16*mem.NodeSpan; vpn += 333 {
+			va := r.area.Start + mem.FromVPN(vpn)
+			w.Walk(0, va, r.dataGPA(va), &res)
+			cycles = append(cycles, res.Cycles)
+		}
+		return cycles
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nested walk %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNestedWalkCyclesMatchAccessSum(t *testing.T) {
+	r := newNestedRig(t, core.Config{P1: true, P2: true}, core.Config{P1: true, P2: true}, false)
+	w := r.walker()
+	var res Result
+	for vpn := uint64(0); vpn < 8*mem.NodeSpan; vpn += 97 {
+		va := r.area.Start + mem.FromVPN(vpn)
+		w.Walk(0, va, r.dataGPA(va), &res)
+		// Each 1D host walk plus the guest dimension pays one PWC lookup.
+		pwcLookups := 1 // guest
+		for _, a := range res.Accesses[:res.N] {
+			if a.Dim == DimHost && a.Level == int8(4) {
+				pwcLookups++ // each host walk starts at its own PWC lookup
+			}
+		}
+		sum := 0
+		for _, a := range res.Accesses[:res.N] {
+			sum += int(a.Cycles)
+		}
+		// The access-cost sum plus PWC lookups must equal the total; host
+		// walks whose PL4 access was PWC-skipped still paid the lookup, so
+		// allow the small remaining delta to be a multiple of the latency.
+		delta := res.Cycles - sum
+		if delta < w.GuestPWC.Latency() || delta%w.GuestPWC.Latency() != 0 {
+			t.Fatalf("vpn %d: cycles %d, access sum %d, delta %d not PWC-lookup multiples",
+				vpn, res.Cycles, sum, delta)
+		}
+	}
+}
+
+func TestPrefetchStateClearedBetweenWalks(t *testing.T) {
+	// A walk outside the range registers must not be covered by the
+	// previous walk's prefetch state.
+	r := newRig(t, core.Config{P1: true, P2: true}, 0)
+	outside := mem.FromVPN(1 << 24)
+	r.table.PopulateRange(outside, outside+mem.VirtAddr(mem.HugeSize))
+	w := r.walker()
+	var res Result
+	w.Walk(0, r.table, r.area.Start, &res)
+	if res.PrefetchCovered == 0 {
+		t.Fatal("setup: first walk not covered")
+	}
+	w.Walk(0, r.table, outside, &res)
+	if res.PrefetchCovered != 0 {
+		t.Fatal("stale prefetch state leaked into an unregistered walk")
+	}
+	for _, a := range res.Accesses[:res.N] {
+		if a.Prefetched {
+			t.Fatal("unregistered access marked prefetched")
+		}
+	}
+}
+
+func TestServedPWCAccessesAreFree(t *testing.T) {
+	r := newRig(t, core.Config{}, 0)
+	w := r.walker()
+	var res Result
+	w.Walk(0, r.table, r.area.Start, &res)
+	w.Walk(0, r.table, r.area.Start, &res)
+	for _, a := range res.Accesses[:res.N] {
+		if a.Served == cache.ServedPWC && a.Cycles != 0 {
+			t.Fatalf("PWC-served access charged %d cycles", a.Cycles)
+		}
+	}
+}

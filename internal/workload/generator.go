@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// smallProb is the fraction of accesses landing in the small (library/stack)
+// areas: frequent but with high temporal reuse, so they rarely miss the TLB
+// (paper §3.2).
+const smallProb = 0.05
+
+// Generator produces the workload's virtual-address reference stream.
+//
+// All patterns operate on dense resident-page indices. Chase and Uniform mix
+// in a hot set (temporal locality) and short sequential bursts (spatial
+// locality: records span neighbouring pages, scans touch a few pages in a
+// row). GraphScan interleaves a line-granular sequential sweep (the CSR
+// arrays) with random neighbour lookups. Zipf models key-value stores with
+// scrambled-zipfian popularity.
+type Generator struct {
+	spec   Spec
+	layout *Layout
+	s      *rng.Stream
+	zipf   *rng.Zipfian
+	perm   *rng.Perm
+	cur    uint64 // chase cursor
+	last   uint64 // previous index, for bursts
+	lastVA mem.VirtAddr
+	seqVA  mem.VirtAddr
+	seqEnd mem.VirtAddr
+	hot    uint64 // hot-set size in pages
+}
+
+// NewGenerator returns a deterministic generator for spec over layout.
+func NewGenerator(spec Spec, layout *Layout, seed uint64) *Generator {
+	g := &Generator{
+		spec:   spec,
+		layout: layout,
+		s:      rng.New(seed),
+		hot:    uint64(spec.HotFraction * float64(layout.TotalResident)),
+	}
+	if g.hot == 0 {
+		g.hot = 1
+	}
+	switch spec.Pattern {
+	case Zipf:
+		g.zipf = rng.NewZipfian(layout.TotalResident, spec.ZipfTheta, rng.New(seed^0x21bf))
+	case Chase:
+		g.perm = rng.NewPerm(layout.TotalResident, seed^0xc4a5e)
+	case GraphScan:
+		g.seqVA = layout.Big[0].Start
+		g.seqEnd = layout.Big[0].Start + mem.VirtAddr(layout.Resident[0]*mem.PageSize)
+	}
+	return g
+}
+
+// Next returns the next referenced virtual address.
+func (g *Generator) Next() mem.VirtAddr {
+	if g.spec.LinesPerVisit > 1 && g.lastVA != 0 && g.s.Bool(1-1/g.spec.LinesPerVisit) {
+		// Keep working within the current page: another line of the record.
+		va := mem.FromVPN(g.lastVA.VPN()) + g.lineOffset()
+		g.lastVA = va
+		return va
+	}
+	if g.layout.SmallPages > 0 && g.s.Bool(smallProb) {
+		// Library/stack touch: tiny hot set.
+		j := g.s.Uint64n(g.layout.SmallPages)
+		return g.layout.SmallPageVA(j) + g.lineOffset()
+	}
+	if g.spec.Pattern == GraphScan && g.s.Bool(g.spec.SeqRatio) {
+		// Sequential sweep advances one cache line per access, crossing into
+		// a new page every PageSize/LineBytes accesses.
+		va := g.seqVA
+		g.seqVA += mem.LineBytes
+		if g.seqVA >= g.seqEnd {
+			g.seqVA = g.layout.Big[0].Start
+		}
+		return va
+	}
+	var i uint64
+	if g.spec.BurstLen > 1 && g.s.Bool(1-1/g.spec.BurstLen) {
+		// Continue a sequential burst from the previous index.
+		i = g.last + 1
+		if i >= g.layout.TotalResident {
+			i = 0
+		}
+	} else {
+		switch g.spec.Pattern {
+		case Chase:
+			if g.s.Bool(g.spec.HotProb) {
+				i = g.s.Uint64n(g.hot)
+			} else {
+				g.cur = g.perm.Apply(g.cur)
+				i = g.cur
+			}
+		case Uniform, GraphScan:
+			if g.s.Bool(g.spec.HotProb) {
+				i = g.s.Uint64n(g.hot)
+			} else {
+				i = g.s.Uint64n(g.layout.TotalResident)
+			}
+		case Zipf:
+			// Key-value stores keep a dense working set (slab-allocated hot
+			// items) in front of the zipfian tail over the whole keyspace.
+			if g.s.Bool(g.spec.HotProb) {
+				i = g.s.Uint64n(g.hot)
+			} else {
+				i = g.zipf.ScrambledNext()
+			}
+		}
+	}
+	g.last = i
+	va := g.layout.PageVA(i) + g.lineOffset()
+	g.lastVA = va
+	return va
+}
+
+// lineOffset returns a random cache-line-aligned offset within a page.
+func (g *Generator) lineOffset() mem.VirtAddr {
+	return mem.VirtAddr(g.s.Uint64n(mem.PageSize/mem.LineBytes) * mem.LineBytes)
+}
+
+// FrameMap deterministically places the process's data pages in a machine
+// memory area. With probability Contig8, an aligned group of 8 virtual pages
+// occupies one aligned 8-frame physical cluster (the contiguity a Clustered
+// TLB exploits); otherwise pages scatter individually — the behaviour of a
+// churned buddy allocator.
+type FrameMap struct {
+	Base    mem.Frame
+	Span    uint64 // frames; must be a multiple of 8
+	Contig8 float64
+	Salt    uint64
+}
+
+// Frame returns the machine frame backing vpn.
+func (m *FrameMap) Frame(vpn uint64) mem.Frame {
+	group := vpn >> 3
+	r := rng.Mix64(group ^ m.Salt)
+	if float64(r&0xffffff)/float64(1<<24) < m.Contig8 {
+		cluster := rng.Mix64(group^m.Salt^0x5eed) % (m.Span >> 3)
+		return m.Base + mem.Frame(cluster<<3|vpn&7)
+	}
+	return m.Base + mem.Frame(rng.Mix64(vpn^m.Salt^0xdada)%m.Span)
+}
+
+// Addr returns the machine address backing va.
+func (m *FrameMap) Addr(va mem.VirtAddr) mem.PhysAddr {
+	return m.Frame(va.VPN()).Addr() + mem.PhysAddr(va.PageOffset())
+}
+
+// CoRunner is the synthetic SMT co-runner of §4: it issues one request to a
+// random address for each memory access of the application thread, pressuring
+// the shared cache hierarchy (but, as in the paper, not the TLBs or PWCs).
+type CoRunner struct {
+	s    *rng.Stream
+	base mem.PhysAddr
+	span uint64 // bytes
+}
+
+// NewCoRunner returns a co-runner thrashing span bytes of machine memory at
+// base.
+func NewCoRunner(base mem.PhysAddr, span uint64, seed uint64) *CoRunner {
+	if span == 0 {
+		panic("workload: co-runner needs a non-empty span")
+	}
+	return &CoRunner{s: rng.New(seed), base: base, span: span}
+}
+
+// Next returns the co-runner's next (line-aligned) machine address.
+func (c *CoRunner) Next() mem.PhysAddr {
+	return c.base + mem.PhysAddr(c.s.Uint64n(c.span/mem.LineBytes)*mem.LineBytes)
+}

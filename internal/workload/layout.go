@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/pt"
+	"repro/internal/vma"
+)
+
+// bigVMABase is where dataset VMAs start in the 48-bit virtual space; each
+// subsequent big VMA is placed above the previous with a gap, mimicking heap
+// plus anonymous mmap regions.
+const bigVMABase = mem.VirtAddr(0x10000000000) // 1 TiB
+
+// smallVMABase is where library/stack areas live.
+const smallVMABase = mem.VirtAddr(0x7f0000000000)
+
+// Layout is a synthetic process image: its VMA set plus the residency
+// geometry of each dataset area.
+//
+// Each dataset area has a dense resident prefix (the live dataset — real
+// heaps keep their hot data virtually contiguous) followed by a sparse tail:
+// address space the process touched lightly over its lifetime, with roughly
+// one resident page per page-table leaf node. The tail reproduces the
+// partially filled page tables behind Table 2's PT page counts without
+// distorting the locality of the access stream, which targets the dense
+// prefix.
+type Layout struct {
+	Space *vma.Space
+	// Big holds the dataset areas; Resident[i] and Span[i] give the dense
+	// resident and total page counts of Big[i].
+	Big      []*vma.VMA
+	Resident []uint64
+	Span     []uint64
+	// Small holds the remaining (library, stack, ...) areas; they are dense.
+	Small []*vma.VMA
+
+	cumResident   []uint64
+	TotalResident uint64 // dense resident pages across big areas
+	SmallPages    uint64
+}
+
+// BuildLayout realizes spec's address space.
+func BuildLayout(spec Spec) (*Layout, error) {
+	if spec.BigVMAs < 1 || spec.TotalVMAs < spec.BigVMAs {
+		return nil, fmt.Errorf("workload %s: bad VMA counts %d/%d", spec.Name, spec.BigVMAs, spec.TotalVMAs)
+	}
+	if spec.SpreadFactor < 1 {
+		return nil, fmt.Errorf("workload %s: spread factor %v < 1", spec.Name, spec.SpreadFactor)
+	}
+	l := &Layout{Space: vma.NewSpace()}
+
+	// Split the dataset over the big areas with geometrically decaying
+	// weights (one dominant heap plus smaller mapped regions), as the
+	// footprints in Table 2 suggest.
+	weights := make([]float64, spec.BigVMAs)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = 1 / float64(i+2)
+		sum += weights[i]
+	}
+	datasetPages := mem.PagesFor(spec.DatasetBytes)
+	next := bigVMABase
+	var assigned uint64
+	for i := 0; i < spec.BigVMAs; i++ {
+		resident := uint64(float64(datasetPages) * weights[i] / sum)
+		if i == spec.BigVMAs-1 {
+			resident = datasetPages - assigned
+		}
+		if resident == 0 {
+			resident = 1
+		}
+		assigned += resident
+		span := uint64(float64(resident) * spec.SpreadFactor)
+		if span < resident {
+			span = resident
+		}
+		// Round the span up to whole PL1 nodes so the area's page-table
+		// geometry is clean.
+		span = (span + mem.NodeSpan - 1) &^ uint64(mem.NodeSpan-1)
+		area := &vma.VMA{
+			Start: next,
+			End:   next + mem.VirtAddr(span*mem.PageSize),
+			Name:  fmt.Sprintf("%s-data%d", spec.Name, i),
+			Kind:  vma.Heap,
+		}
+		if i > 0 {
+			area.Kind = vma.MMap
+		}
+		if err := l.Space.Insert(area); err != nil {
+			return nil, err
+		}
+		l.Big = append(l.Big, area)
+		l.Resident = append(l.Resident, resident)
+		l.Span = append(l.Span, span)
+		l.TotalResident += resident
+		l.cumResident = append(l.cumResident, l.TotalResident)
+		// Separate areas by an unmapped guard gap of at least one PL2 span,
+		// so their page-table regions never share nodes.
+		next = area.End + mem.VirtAddr(uint64(1)<<pt.SpanShift(2))
+	}
+
+	// Small areas: stack plus shared libraries, a few dozen pages each.
+	at := smallVMABase
+	for i := 0; i < spec.TotalVMAs-spec.BigVMAs; i++ {
+		pages := uint64(16 + 8*(i%5))
+		kind, name := vma.Lib, fmt.Sprintf("%s-lib%d", spec.Name, i)
+		if i == 0 {
+			pages = 64
+			kind, name = vma.Stack, spec.Name+"-stack"
+		}
+		area := &vma.VMA{Start: at, End: at + mem.VirtAddr(pages*mem.PageSize), Name: name, Kind: kind}
+		if err := l.Space.Insert(area); err != nil {
+			return nil, err
+		}
+		l.Small = append(l.Small, area)
+		l.SmallPages += pages
+		at = area.End + mem.VirtAddr(4*mem.PageSize)
+	}
+	return l, nil
+}
+
+// PageVA returns the virtual address (page-aligned) of the i-th dense
+// resident dataset page, i in [0, TotalResident).
+func (l *Layout) PageVA(i uint64) mem.VirtAddr {
+	if i >= l.TotalResident {
+		panic("workload: resident page index out of range")
+	}
+	for k := range l.Big {
+		if i < l.cumResident[k] {
+			local := i
+			if k > 0 {
+				local = i - l.cumResident[k-1]
+			}
+			return l.Big[k].Start + mem.VirtAddr(local*mem.PageSize)
+		}
+	}
+	panic("workload: cumulative residency inconsistent")
+}
+
+// SmallPageVA returns the virtual address of the j-th small-area page,
+// j in [0, SmallPages).
+func (l *Layout) SmallPageVA(j uint64) mem.VirtAddr {
+	if j >= l.SmallPages {
+		panic("workload: small page index out of range")
+	}
+	for _, a := range l.Small {
+		if j < a.Pages() {
+			return a.Start + mem.VirtAddr(j*mem.PageSize)
+		}
+		j -= a.Pages()
+	}
+	panic("workload: small areas inconsistent")
+}
+
+// PresentVPN reports whether the page vpn is resident (mapped) in this
+// process — the predicate behind page-fault-free steady-state simulation and
+// the Clustered TLB's neighbour probes.
+func (l *Layout) PresentVPN(vpn uint64) bool {
+	area := l.Space.Find(mem.FromVPN(vpn))
+	if area == nil {
+		return false
+	}
+	for k, big := range l.Big {
+		if big != area {
+			continue
+		}
+		off := vpn - big.Start.VPN()
+		if off < l.Resident[k] {
+			return true // dense prefix
+		}
+		// Sparse tail: the first page of each leaf-node span is resident.
+		return off%mem.NodeSpan == 0
+	}
+	return true // small areas are dense
+}
+
+// Populate maps the process's resident set into table: the dense prefix and
+// the sparse tail of each dataset area, plus the dense small areas. This is
+// the steady state the paper measures (long-running servers with fully
+// faulted-in datasets).
+func (l *Layout) Populate(table *pt.Table) {
+	for k, big := range l.Big {
+		dense := l.Resident[k]
+		table.PopulateRange(big.Start, big.Start+mem.VirtAddr(dense*mem.PageSize))
+		for off := (dense + mem.NodeSpan - 1) &^ uint64(mem.NodeSpan-1); off < l.Span[k]; off += mem.NodeSpan {
+			table.EnsurePage(big.Start + mem.VirtAddr(off*mem.PageSize))
+		}
+	}
+	for _, small := range l.Small {
+		table.PopulateRange(small.Start, small.End)
+	}
+}

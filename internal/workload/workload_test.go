@@ -1,0 +1,274 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/pt"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Name:         "test",
+		DatasetBytes: 64 * mem.MiB,
+		SpreadFactor: 2,
+		TotalVMAs:    8,
+		BigVMAs:      2,
+		Pattern:      Uniform,
+		HotFraction:  0.1,
+		HotProb:      0.5,
+		Contig8:      0.5,
+		MeanPTRun:    4,
+		InstrPerRef:  4,
+	}
+}
+
+func mustLayout(t *testing.T, s Spec) *Layout {
+	t.Helper()
+	l, err := BuildLayout(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestBuildLayoutShape(t *testing.T) {
+	s := testSpec()
+	l := mustLayout(t, s)
+	if l.Space.Len() != s.TotalVMAs {
+		t.Fatalf("VMAs = %d, want %d", l.Space.Len(), s.TotalVMAs)
+	}
+	if len(l.Big) != s.BigVMAs || len(l.Small) != s.TotalVMAs-s.BigVMAs {
+		t.Fatalf("big/small = %d/%d", len(l.Big), len(l.Small))
+	}
+	if l.TotalResident != mem.PagesFor(s.DatasetBytes) {
+		t.Fatalf("resident pages = %d, want %d", l.TotalResident, mem.PagesFor(s.DatasetBytes))
+	}
+	// Spread factor respected per area (span within rounding of factor).
+	for k := range l.Big {
+		ratio := float64(l.Span[k]) / float64(l.Resident[k])
+		if ratio < s.SpreadFactor*0.9 || ratio > s.SpreadFactor*1.2 {
+			t.Fatalf("area %d span/resident = %v, want ~%v", k, ratio, s.SpreadFactor)
+		}
+	}
+	// Big areas dominate the footprint: 99% coverage takes ≤ BigVMAs areas.
+	if got := l.Space.CoverageCount(0.99); got > s.BigVMAs {
+		t.Fatalf("99%% coverage needs %d VMAs, want ≤ %d", got, s.BigVMAs)
+	}
+}
+
+func TestBuildLayoutErrors(t *testing.T) {
+	s := testSpec()
+	s.BigVMAs = 0
+	if _, err := BuildLayout(s); err == nil {
+		t.Fatal("BigVMAs=0 accepted")
+	}
+	s = testSpec()
+	s.SpreadFactor = 0.5
+	if _, err := BuildLayout(s); err == nil {
+		t.Fatal("SpreadFactor<1 accepted")
+	}
+	s = testSpec()
+	s.TotalVMAs = 1
+	if _, err := BuildLayout(s); err == nil {
+		t.Fatal("TotalVMAs<BigVMAs accepted")
+	}
+}
+
+func TestPageVAConsistentWithPresent(t *testing.T) {
+	l := mustLayout(t, testSpec())
+	f := func(raw uint64) bool {
+		i := raw % l.TotalResident
+		va := l.PageVA(i)
+		return l.PresentVPN(va.VPN())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresentVPNOutsideAreas(t *testing.T) {
+	l := mustLayout(t, testSpec())
+	if l.PresentVPN(0) {
+		t.Fatal("page 0 resident")
+	}
+	// The guard gap between big areas is unmapped.
+	gap := l.Big[0].End
+	if l.PresentVPN(gap.VPN()) {
+		t.Fatal("guard gap resident")
+	}
+	// Small areas are dense.
+	if !l.PresentVPN(l.Small[0].Start.VPN()) {
+		t.Fatal("small area page not resident")
+	}
+}
+
+func TestPopulateMatchesPresent(t *testing.T) {
+	l := mustLayout(t, testSpec())
+	table, err := pt.New(pt.Config{Levels: 4, LeafLevel: 1}, pt.NewScatterAlloc(0, 1<<22, 1), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Populate(table)
+	f := func(raw uint64) bool {
+		// Probe random pages across the whole first big area span plus gaps.
+		vpn := l.Big[0].Start.VPN() + raw%(l.Span[0]+1000)
+		return table.Present(mem.FromVPN(vpn)) == l.PresentVPN(vpn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorStaysInResidentSet(t *testing.T) {
+	for _, pat := range []Pattern{Chase, Uniform, Zipf, GraphScan} {
+		s := testSpec()
+		s.Pattern = pat
+		s.ZipfTheta = 0.9
+		s.SeqRatio = 0.3
+		l := mustLayout(t, s)
+		g := NewGenerator(s, l, 7)
+		for i := 0; i < 5000; i++ {
+			va := g.Next()
+			if !l.PresentVPN(va.VPN()) {
+				t.Fatalf("pattern %v produced non-resident address %#x", pat, uint64(va))
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	s := testSpec()
+	l := mustLayout(t, s)
+	a, b := NewGenerator(s, l, 9), NewGenerator(s, l, 9)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("generators with equal seeds diverged at %d", i)
+		}
+	}
+}
+
+func TestGeneratorLocalityKnobs(t *testing.T) {
+	// Higher HotProb must concentrate accesses on fewer distinct pages.
+	distinct := func(hotProb float64) int {
+		s := testSpec()
+		s.Pattern = Uniform
+		s.HotProb = hotProb
+		l := mustLayout(t, s)
+		g := NewGenerator(s, l, 11)
+		seen := map[uint64]bool{}
+		for i := 0; i < 20000; i++ {
+			seen[g.Next().VPN()] = true
+		}
+		return len(seen)
+	}
+	lo, hi := distinct(0.9), distinct(0.0)
+	if lo >= hi {
+		t.Fatalf("hot mix did not concentrate accesses: %d vs %d distinct pages", lo, hi)
+	}
+}
+
+func TestFrameMapClusters(t *testing.T) {
+	m := &FrameMap{Base: 1 << 20, Span: 1 << 20, Contig8: 1.0, Salt: 3}
+	// Full contiguity: every aligned 8-group is one aligned physical cluster.
+	for group := uint64(0); group < 100; group++ {
+		base := m.Frame(group * 8)
+		if uint64(base-m.Base)&7 != 0 {
+			t.Fatalf("group %d cluster base %d not aligned", group, base)
+		}
+		for off := uint64(1); off < 8; off++ {
+			if m.Frame(group*8+off) != base+mem.Frame(off) {
+				t.Fatalf("group %d split at offset %d", group, off)
+			}
+		}
+	}
+}
+
+func TestFrameMapScattersWithoutContiguity(t *testing.T) {
+	m := &FrameMap{Base: 0, Span: 1 << 20, Contig8: 0, Salt: 4}
+	adjacent := 0
+	for vpn := uint64(0); vpn < 1000; vpn++ {
+		if m.Frame(vpn+1) == m.Frame(vpn)+1 {
+			adjacent++
+		}
+	}
+	if adjacent > 10 {
+		t.Fatalf("scatter map preserved %d adjacencies", adjacent)
+	}
+}
+
+func TestFrameMapInSpan(t *testing.T) {
+	m := &FrameMap{Base: 1 << 24, Span: 1 << 16, Contig8: 0.5, Salt: 5}
+	f := func(vpn uint64) bool {
+		fr := m.Frame(vpn)
+		return fr >= m.Base && fr < m.Base+mem.Frame(m.Span)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameMapAddrPreservesOffset(t *testing.T) {
+	m := &FrameMap{Base: 0, Span: 1 << 16, Contig8: 0, Salt: 6}
+	va := mem.VirtAddr(123*mem.PageSize + 456)
+	if m.Addr(va)%mem.PageSize != 456 {
+		t.Fatal("page offset lost")
+	}
+}
+
+func TestCoRunnerBounds(t *testing.T) {
+	c := NewCoRunner(mem.PhysAddr(1<<30), 1<<24, 7)
+	for i := 0; i < 10000; i++ {
+		a := c.Next()
+		if a < 1<<30 || a >= 1<<30+1<<24 {
+			t.Fatalf("co-runner address %#x out of span", uint64(a))
+		}
+		if a%mem.LineBytes != 0 {
+			t.Fatalf("co-runner address %#x not line aligned", uint64(a))
+		}
+	}
+}
+
+func TestSpecsTable3(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 7 {
+		t.Fatalf("Table 3 lists 7 workloads, got %d", len(specs))
+	}
+	byName := map[string]Spec{}
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	if byName["mc400"].DatasetBytes != 400*mem.GiB {
+		t.Fatal("mc400 dataset size wrong")
+	}
+	if byName["bfs"].DatasetBytes != 60*mem.GiB {
+		t.Fatal("bfs dataset size wrong")
+	}
+	if _, ok := ByName("redis"); !ok {
+		t.Fatal("redis missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown workload found")
+	}
+	if len(Names()) != 7 {
+		t.Fatal("Names() wrong length")
+	}
+	// Every spec must build a valid layout.
+	for _, s := range specs {
+		if s.Name == "mc400" || s.Name == "mc80" || s.Name == "bfs" || s.Name == "pagerank" || s.Name == "redis" {
+			continue // large layouts exercised in sim tests; skip for speed here
+		}
+		if _, err := BuildLayout(s); err != nil {
+			t.Fatalf("layout for %s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	for p, want := range map[Pattern]string{Chase: "chase", Uniform: "uniform", Zipf: "zipf", GraphScan: "graph-scan"} {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q", int(p), p.String())
+		}
+	}
+}
