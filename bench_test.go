@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -73,6 +74,45 @@ func BenchmarkAblationPWCScaling(b *testing.B)       { benchExperiment(b, "ablat
 func BenchmarkAblationRegionHoles(b *testing.B)      { benchExperiment(b, "ablation-holes", false) }
 func BenchmarkAblationRangeRegisters(b *testing.B)   { benchExperiment(b, "ablation-regs", false) }
 func BenchmarkAblationFiveLevel(b *testing.B)        { benchExperiment(b, "ablation-5level", true) }
+
+// benchExperiments regenerates a sequence of experiments per iteration,
+// optionally through a fresh memoizing parallel runner. The Sequential/Runner
+// pairs below quantify the tentpole win: Fig 2 and Fig 3 iterate the exact
+// same four-scenario × workload grid, so the runner simulates each unique
+// cell once (and fans the unique cells across GOMAXPROCS workers), while the
+// sequential path re-simulates the full grid for each figure.
+func benchExperiments(b *testing.B, parallel bool, names ...string) {
+	b.Helper()
+	o := benchOptions()
+	o.Workloads = smallWorkloads()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := o
+		var r *runner.Runner
+		if parallel {
+			r = runner.New(0)
+			run.Runner = r
+		}
+		var err error
+		for _, name := range names {
+			if err = exp.Run(name, run); err != nil {
+				break
+			}
+		}
+		if r != nil {
+			r.Close() // close before Fatal so failed iterations don't leak workers
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2Fig3Sequential(b *testing.B) { benchExperiments(b, false, "fig2", "fig3") }
+func BenchmarkFig2Fig3Runner(b *testing.B)     { benchExperiments(b, true, "fig2", "fig3") }
+
+func BenchmarkAllExperimentsSequential(b *testing.B) { benchExperiments(b, false, "all") }
+func BenchmarkAllExperimentsRunner(b *testing.B)     { benchExperiments(b, true, "all") }
 
 // BenchmarkWalkBaseline and BenchmarkWalkASAP measure the simulator's core
 // inner loop directly (one full scenario per iteration) and report the

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -69,7 +70,12 @@ func main() {
 			Host:   parseASAP(*hostFlag),
 		},
 	}
-	res, err := sim.Run(sc, p)
+	// A single cell gains nothing from parallelism, but routing through the
+	// runner keeps asapsim on the same executor as cmd/paperrepro and the
+	// benchmarks.
+	r := runner.New(1)
+	defer r.Close()
+	res, err := r.Run(sc, p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sim:", err)
 		os.Exit(1)

@@ -7,15 +7,25 @@
 //	paperrepro -exp all            # everything (several minutes)
 //	paperrepro -exp fig8           # one experiment
 //	paperrepro -exp fig10 -fast    # reduced measurement protocol
+//	paperrepro -exp all -j 8       # fan scenario cells over 8 workers
 //	paperrepro -list               # list experiment names
+//
+// Scenario cells always run through a memoizing runner, so cells shared
+// between experiments (Fig 2 and Fig 3 iterate the same grid; Table 1 and
+// Fig 8/10/12 overlap further) are simulated exactly once. -j controls how
+// many cells simulate concurrently; table output is identical for every -j
+// because results are collected in submission order. A cache-utilization
+// summary goes to stderr, keeping stdout byte-for-byte comparable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/exp"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -25,6 +35,7 @@ func main() {
 		fast = flag.Bool("fast", false, "reduced measurement protocol (quicker, noisier)")
 		list = flag.Bool("list", false, "list experiment names and exit")
 		only = flag.String("workload", "", "restrict to one workload (where applicable)")
+		jobs = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent scenario simulations (1 = sequential)")
 	)
 	flag.Parse()
 
@@ -46,8 +57,16 @@ func main() {
 		}
 		o.Workloads = []workload.Spec{spec}
 	}
+	r := runner.New(*jobs)
+	defer r.Close()
+	o.Runner = r
 	if err := exp.Run(*name, o); err != nil {
 		fmt.Fprintln(os.Stderr, "paperrepro:", err)
 		os.Exit(1)
+	}
+	hits, misses := r.Stats()
+	if total := hits + misses; total > 0 {
+		fmt.Fprintf(os.Stderr, "runner: %d unique cells simulated, %d cache hits (%.1f%% of %d requests)\n",
+			misses, hits, 100*float64(hits)/float64(total), total)
 	}
 }

@@ -182,5 +182,11 @@ func (e *Engine) RangeHitRate() float64 {
 	return float64(e.rangeHits) / float64(e.lookups)
 }
 
+// Lookups returns the cumulative number of range-register lookups.
+func (e *Engine) Lookups() uint64 { return e.lookups }
+
+// RangeHits returns the cumulative number of lookups that matched a register.
+func (e *Engine) RangeHits() uint64 { return e.rangeHits }
+
 // Overflowed returns how many descriptors were dropped for lack of registers.
 func (e *Engine) Overflowed() uint64 { return e.overflowed }

@@ -14,13 +14,17 @@ import (
 func AblationPWC(o Options) error {
 	tb := stats.NewTable("workload", "default PWC", "2× PWC", "reduction")
 	var red stats.Mean
+	big := o
+	big.Params.PWC = o.Params.PWC.Scale(2)
+	for _, w := range o.Workloads {
+		o.prefetch(sim.Scenario{Workload: w})
+		big.prefetch(sim.Scenario{Workload: w})
+	}
 	for _, w := range o.Workloads {
 		base, err := o.run(sim.Scenario{Workload: w})
 		if err != nil {
 			return err
 		}
-		big := o
-		big.Params.PWC = o.Params.PWC.Scale(2)
 		r, err := big.run(sim.Scenario{Workload: w})
 		if err != nil {
 			return err
@@ -42,12 +46,19 @@ func AblationHoles(o Options, name string) error {
 	if !ok {
 		return fmt.Errorf("exp: workload %s not defined", name)
 	}
+	holeProbs := []float64{0, 0.05, 0.2, 0.5}
+	o.prefetch(sim.Scenario{Workload: w})
+	for _, h := range holeProbs {
+		p := o
+		p.Params.HoleProb = h
+		p.prefetch(sim.Scenario{Workload: w, ASAP: cfgP1P2})
+	}
 	base, err := o.run(sim.Scenario{Workload: w})
 	if err != nil {
 		return err
 	}
 	tb := stats.NewTable("hole probability", "avg walk latency", "reduction vs baseline", "prefetch coverage")
-	for _, h := range []float64{0, 0.05, 0.2, 0.5} {
+	for _, h := range holeProbs {
 		p := o
 		p.Params.HoleProb = h
 		r, err := p.run(sim.Scenario{Workload: w, ASAP: cfgP1P2})
@@ -72,8 +83,14 @@ func AblationRangeRegisters(o Options, name string) error {
 	if !ok {
 		return fmt.Errorf("exp: workload %s not defined", name)
 	}
+	regCounts := []int{1, 2, 4, 8, 16}
+	for _, n := range regCounts {
+		p := o
+		p.Params.RangeRegisters = n
+		p.prefetch(sim.Scenario{Workload: w, ASAP: cfgP1P2})
+	}
 	tb := stats.NewTable("range registers", "range hit rate", "avg walk latency")
-	for _, n := range []int{1, 2, 4, 8, 16} {
+	for _, n := range regCounts {
 		p := o
 		p.Params.RangeRegisters = n
 		r, err := p.run(sim.Scenario{Workload: w, ASAP: cfgP1P2})
@@ -90,6 +107,13 @@ func AblationRangeRegisters(o Options, name string) error {
 // deepen every walk; ASAP with an added P3 prefetch recovers the loss.
 func AblationFiveLevel(o Options) error {
 	tb := stats.NewTable("workload", "4-level base", "5-level base", "5-level ASAP P1+P2+P3", "ASAP red.")
+	asapP123 := sim.ASAPConfig{Native: core.Config{P1: true, P2: true, P3: true}}
+	p5pre := o
+	p5pre.Params.FiveLevel = true
+	for _, w := range o.Workloads {
+		o.prefetch(sim.Scenario{Workload: w})
+		p5pre.prefetch(sim.Scenario{Workload: w}, sim.Scenario{Workload: w, ASAP: asapP123})
+	}
 	for _, w := range o.Workloads {
 		four, err := o.run(sim.Scenario{Workload: w})
 		if err != nil {
@@ -101,8 +125,7 @@ func AblationFiveLevel(o Options) error {
 		if err != nil {
 			return err
 		}
-		asap5, err := p5.run(sim.Scenario{Workload: w,
-			ASAP: sim.ASAPConfig{Native: core.Config{P1: true, P2: true, P3: true}}})
+		asap5, err := p5.run(sim.Scenario{Workload: w, ASAP: asapP123})
 		if err != nil {
 			return err
 		}

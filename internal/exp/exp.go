@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -19,6 +20,13 @@ type Options struct {
 	Params    sim.Params
 	Workloads []workload.Spec
 	Out       io.Writer
+	// Runner, when non-nil, executes scenario cells on a shared memoizing
+	// worker pool: each experiment submits its full grid up front so
+	// independent cells simulate concurrently (and cells shared between
+	// experiments simulate only once), while results are collected in
+	// submission order so rendered output matches a sequential run byte for
+	// byte. When nil, cells run sequentially in place.
+	Runner *runner.Runner
 }
 
 // Default returns full-fidelity options writing to out.
@@ -35,7 +43,21 @@ func Fast(out io.Writer) Options {
 }
 
 func (o Options) run(sc sim.Scenario) (*sim.Result, error) {
+	if o.Runner != nil {
+		return o.Runner.Run(sc, o.Params)
+	}
 	return sim.Run(sc, o.Params)
+}
+
+// prefetch queues cells for concurrent execution ahead of the in-order
+// collection pass. It is a no-op without a runner.
+func (o Options) prefetch(scs ...sim.Scenario) {
+	if o.Runner == nil {
+		return
+	}
+	for _, sc := range scs {
+		o.Runner.Submit(sc, o.Params)
+	}
 }
 
 func (o Options) printf(format string, args ...any) {
@@ -65,10 +87,6 @@ func Table1(o Options) error {
 	if !ok {
 		return fmt.Errorf("exp: mc400 not defined")
 	}
-	base, err := o.run(sim.Scenario{Workload: mc80})
-	if err != nil {
-		return err
-	}
 	cells := []struct {
 		name string
 		sc   sim.Scenario
@@ -77,6 +95,14 @@ func Table1(o Options) error {
 		{"SMT colocation", sim.Scenario{Workload: mc80, Colocated: true}},
 		{"Virtualization", sim.Scenario{Workload: mc80, Virtualized: true}},
 		{"Virtualization + SMT colocation", sim.Scenario{Workload: mc80, Virtualized: true, Colocated: true}},
+	}
+	o.prefetch(sim.Scenario{Workload: mc80})
+	for _, c := range cells {
+		o.prefetch(c.sc)
+	}
+	base, err := o.run(sim.Scenario{Workload: mc80})
+	if err != nil {
+		return err
 	}
 	tb := stats.NewTable("scenario", "avg walk latency", "vs native isolated", "paper")
 	tb.AddRow("native isolated (80GB)", stats.F1(base.AvgWalkLat), "1.0×", "1.0×")
@@ -126,6 +152,10 @@ func Fig2(o Options) error {
 	tb := stats.NewTable("workload", "native", "native+colo", "virt", "virt+colo")
 	var sums [4]stats.Mean
 	for _, w := range o.Workloads {
+		s := fourScenarios(w)
+		o.prefetch(s[:]...)
+	}
+	for _, w := range o.Workloads {
 		row := []string{w.Name}
 		for i, sc := range fourScenarios(w) {
 			r, err := o.run(sc)
@@ -147,6 +177,10 @@ func Fig2(o Options) error {
 func Fig3(o Options) error {
 	tb := stats.NewTable("workload", "native", "native+colo", "virt", "virt+colo")
 	var sums [4]stats.Mean
+	for _, w := range o.Workloads {
+		s := fourScenarios(w)
+		o.prefetch(s[:]...)
+	}
 	for _, w := range o.Workloads {
 		row := []string{w.Name}
 		for i, sc := range fourScenarios(w) {
@@ -176,6 +210,19 @@ func fourScenarios(w workload.Spec) [4]sim.Scenario {
 // Fig8 reproduces native walk latency for Baseline/P1/P1+P2, in isolation (a)
 // and under SMT colocation (b).
 func Fig8(o Options) error {
+	cells := func(w workload.Spec, colo bool) [3]sim.Scenario {
+		return [3]sim.Scenario{
+			{Workload: w, Colocated: colo},
+			{Workload: w, Colocated: colo, ASAP: cfgP1},
+			{Workload: w, Colocated: colo, ASAP: cfgP1P2},
+		}
+	}
+	for _, colo := range []bool{false, true} {
+		for _, w := range o.Workloads {
+			c := cells(w, colo)
+			o.prefetch(c[:]...)
+		}
+	}
 	for _, colo := range []bool{false, true} {
 		label := "Figure 8a: native, isolation"
 		if colo {
@@ -185,8 +232,8 @@ func Fig8(o Options) error {
 		var sums [3]stats.Mean
 		for _, w := range o.Workloads {
 			var lat [3]float64
-			for i, cfg := range []sim.ASAPConfig{{}, cfgP1, cfgP1P2} {
-				r, err := o.run(sim.Scenario{Workload: w, Colocated: colo, ASAP: cfg})
+			for i, sc := range cells(w, colo) {
+				r, err := o.run(sc)
 				if err != nil {
 					return err
 				}
@@ -206,7 +253,13 @@ func Fig8(o Options) error {
 // Fig9 reproduces the per-PT-level serving breakdown for mcf and redis, in
 // isolation and under colocation.
 func Fig9(o Options) error {
-	for _, name := range []string{"mcf", "redis"} {
+	names := []string{"mcf", "redis"}
+	for _, name := range names {
+		if w, ok := workload.ByName(name); ok {
+			o.prefetch(sim.Scenario{Workload: w}, sim.Scenario{Workload: w, Colocated: true})
+		}
+	}
+	for _, name := range names {
 		w, ok := workload.ByName(name)
 		if !ok {
 			return fmt.Errorf("exp: %s not defined", name)
@@ -240,6 +293,18 @@ func Fig9(o Options) error {
 func Fig10(o Options) error {
 	configs := []sim.ASAPConfig{{}, cfgG1, cfgG12, cfgG1H1, cfgAll4}
 	names := []string{"Baseline", "P1g", "P1g+P2g", "P1g+P1h", "P1g+P1h+P2g+P2h"}
+	cells := func(w workload.Spec, colo bool) []sim.Scenario {
+		out := make([]sim.Scenario, len(configs))
+		for i, cfg := range configs {
+			out[i] = sim.Scenario{Workload: w, Virtualized: true, Colocated: colo, ASAP: cfg}
+		}
+		return out
+	}
+	for _, colo := range []bool{false, true} {
+		for _, w := range o.Workloads {
+			o.prefetch(cells(w, colo)...)
+		}
+	}
 	for _, colo := range []bool{false, true} {
 		label := "Figure 10a: virtualized, isolation"
 		if colo {
@@ -252,8 +317,8 @@ func Fig10(o Options) error {
 		for _, w := range o.Workloads {
 			lat := make([]float64, len(configs))
 			row := []string{w.Name}
-			for i, cfg := range configs {
-				r, err := o.run(sim.Scenario{Workload: w, Virtualized: true, Colocated: colo, ASAP: cfg})
+			for i, sc := range cells(w, colo) {
+				r, err := o.run(sc)
 				if err != nil {
 					return err
 				}
@@ -279,17 +344,23 @@ func Fig10(o Options) error {
 func Fig12(o Options) error {
 	tb := stats.NewTable("workload", "Baseline", "ASAP", "red.", "Baseline+colo", "ASAP+colo", "colo red.")
 	var sums [4]stats.Mean
+	fig12Cells := []struct {
+		colo bool
+		cfg  sim.ASAPConfig
+	}{
+		{false, sim.ASAPConfig{}},
+		{false, cfgFig12},
+		{true, sim.ASAPConfig{}},
+		{true, cfgFig12},
+	}
+	for _, w := range o.Workloads {
+		for _, cell := range fig12Cells {
+			o.prefetch(sim.Scenario{Workload: w, Virtualized: true, HostHugePages: true, Colocated: cell.colo, ASAP: cell.cfg})
+		}
+	}
 	for _, w := range o.Workloads {
 		var lat [4]float64
-		for i, cell := range []struct {
-			colo bool
-			cfg  sim.ASAPConfig
-		}{
-			{false, sim.ASAPConfig{}},
-			{false, cfgFig12},
-			{true, sim.ASAPConfig{}},
-			{true, cfgFig12},
-		} {
+		for i, cell := range fig12Cells {
 			r, err := o.run(sim.Scenario{Workload: w, Virtualized: true, HostHugePages: true, Colocated: cell.colo, ASAP: cell.cfg})
 			if err != nil {
 				return err

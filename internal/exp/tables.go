@@ -47,19 +47,34 @@ func Table2(o Options) error {
 func Table6(o Options) error {
 	tb := stats.NewTable("application", "walk cycles on critical path", "ASAP walk reduction", "min. improvement")
 	var imp stats.Mean
+	cells := func(w workload.Spec) [3]sim.Scenario {
+		return [3]sim.Scenario{
+			{Workload: w},
+			{Workload: w, Virtualized: true},
+			{Workload: w, Virtualized: true, ASAP: cfgAll4},
+		}
+	}
+	for _, w := range o.Workloads {
+		if w.Name == "mc80" || w.Name == "mc400" {
+			continue
+		}
+		c := cells(w)
+		o.prefetch(c[:]...)
+	}
 	for _, w := range o.Workloads {
 		if w.Name == "mc80" || w.Name == "mc400" {
 			continue // the paper's libhugetlbfs methodology excluded memcached
 		}
-		nat, err := o.run(sim.Scenario{Workload: w})
+		c := cells(w)
+		nat, err := o.run(c[0])
 		if err != nil {
 			return err
 		}
-		base, err := o.run(sim.Scenario{Workload: w, Virtualized: true})
+		base, err := o.run(c[1])
 		if err != nil {
 			return err
 		}
-		asap, err := o.run(sim.Scenario{Workload: w, Virtualized: true, ASAP: cfgAll4})
+		asap, err := o.run(c[2])
 		if err != nil {
 			return err
 		}
@@ -78,12 +93,20 @@ func Table6(o Options) error {
 func Table7(o Options) error {
 	tb := stats.NewTable("application", "baseline MPKI", "clustered MPKI", "reduction")
 	var red stats.Mean
+	cells := func(w workload.Spec) [2]sim.Scenario {
+		return [2]sim.Scenario{{Workload: w}, {Workload: w, ClusteredTLB: true}}
+	}
 	for _, w := range o.Workloads {
-		base, err := o.run(sim.Scenario{Workload: w})
+		c := cells(w)
+		o.prefetch(c[:]...)
+	}
+	for _, w := range o.Workloads {
+		c := cells(w)
+		base, err := o.run(c[0])
 		if err != nil {
 			return err
 		}
-		clus, err := o.run(sim.Scenario{Workload: w, ClusteredTLB: true})
+		clus, err := o.run(c[1])
 		if err != nil {
 			return err
 		}
@@ -102,19 +125,26 @@ func Table7(o Options) error {
 func Fig11(o Options) error {
 	tb := stats.NewTable("workload", "Clustered TLB", "ASAP", "Clustered TLB + ASAP")
 	var sums [3]stats.Mean
-	for _, w := range o.Workloads {
-		base, err := o.run(sim.Scenario{Workload: w})
-		if err != nil {
-			return err
-		}
-		perRef := func(r *sim.Result) float64 { return float64(r.WalkCycles) / float64(r.Accesses) }
-		cells := []sim.Scenario{
+	fig11Cells := func(w workload.Spec) []sim.Scenario {
+		return []sim.Scenario{
+			{Workload: w},
 			{Workload: w, ClusteredTLB: true},
 			{Workload: w, ASAP: cfgP1P2},
 			{Workload: w, ClusteredTLB: true, ASAP: cfgP1P2},
 		}
+	}
+	for _, w := range o.Workloads {
+		o.prefetch(fig11Cells(w)...)
+	}
+	for _, w := range o.Workloads {
+		cells := fig11Cells(w)
+		base, err := o.run(cells[0])
+		if err != nil {
+			return err
+		}
+		perRef := func(r *sim.Result) float64 { return float64(r.WalkCycles) / float64(r.Accesses) }
 		row := []string{w.Name}
-		for i, sc := range cells {
+		for i, sc := range cells[1:] {
 			r, err := o.run(sc)
 			if err != nil {
 				return err

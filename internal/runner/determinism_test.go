@@ -1,0 +1,62 @@
+package runner_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// TestParallelMatchesSequential proves the tentpole's correctness guarantee:
+// regenerating experiments through the parallel memoizing runner renders
+// byte-identical tables to the plain sequential path, on the exp.Fast
+// protocol. Fig 2 and Fig 3 share their whole scenario grid, so this also
+// exercises cross-experiment memoization; fig8 adds ASAP configurations.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full exp.Fast protocol is slow in -short mode")
+	}
+	restrict := func(o exp.Options) exp.Options {
+		var ws []workload.Spec
+		for _, n := range []string{"mcf", "canneal"} {
+			s, ok := workload.ByName(n)
+			if !ok {
+				t.Fatalf("missing workload %s", n)
+			}
+			ws = append(ws, s)
+		}
+		o.Workloads = ws
+		return o
+	}
+	experiments := []string{"fig2", "fig3", "fig8"}
+
+	var seq bytes.Buffer
+	seqOpts := restrict(exp.Fast(&seq))
+	for _, name := range experiments {
+		if err := exp.Run(name, seqOpts); err != nil {
+			t.Fatalf("sequential %s: %v", name, err)
+		}
+	}
+
+	var par bytes.Buffer
+	parOpts := restrict(exp.Fast(&par))
+	r := runner.New(0)
+	defer r.Close()
+	parOpts.Runner = r
+	for _, name := range experiments {
+		if err := exp.Run(name, parOpts); err != nil {
+			t.Fatalf("parallel %s: %v", name, err)
+		}
+	}
+
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq.String(), par.String())
+	}
+
+	hits, misses := r.Stats()
+	if hits == 0 {
+		t.Fatalf("expected cross-experiment cache hits (fig2 and fig3 share their grid); stats = %d hits, %d misses", hits, misses)
+	}
+}

@@ -1,0 +1,170 @@
+// Package runner executes simulation scenario cells on a bounded worker pool
+// and memoizes results by canonical (Scenario, Params) key.
+//
+// The paper's evaluation regenerates many tables and figures from overlapping
+// scenario grids (Fig 2 and Fig 3 iterate the exact same four-scenario ×
+// workload grid; Table 1 and Fig 8/10/12 overlap further). A Runner makes
+// that cheap twice over: independent cells fan out across GOMAXPROCS worker
+// goroutines, and each unique cell is simulated exactly once per process no
+// matter how many experiments request it. Requests are singleflight —
+// concurrent submissions of the same key share one in-flight simulation.
+//
+// Experiments submit their full grid up front with Submit and then collect
+// results in submission order with Future.Wait (or call Run, which is
+// Submit+Wait), so rendered output is byte-identical to a sequential run.
+package runner
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// cell is one unique (Scenario, Params) simulation: queued at first request,
+// executed by one worker, shared by every requester.
+type cell struct {
+	sc      sim.Scenario
+	p       sim.Params
+	done    chan struct{}
+	res     *sim.Result
+	err     error
+	claimed bool // a Wait already consumed this cell (guarded by Runner.mu)
+}
+
+// Future is a handle on a submitted cell.
+type Future struct {
+	r *Runner
+	c *cell
+}
+
+// Wait blocks until the cell's simulation completes and returns its result.
+// The result is shared between all requesters of the cell and must be treated
+// as read-only.
+//
+// Stats are counted here rather than at Submit so that the common
+// prefetch-then-collect pattern does not count its own prefetch as a cache
+// hit: the first Wait on a cell is the miss (the simulation that actually
+// ran), every further Wait is a hit (a simulation avoided by memoization).
+func (f *Future) Wait() (*sim.Result, error) {
+	<-f.c.done
+	f.r.mu.Lock()
+	if f.c.claimed {
+		f.r.hits++
+	} else {
+		f.c.claimed = true
+		f.r.misses++
+	}
+	f.r.mu.Unlock()
+	return f.c.res, f.c.err
+}
+
+// Runner is a memoizing worker-pool scenario executor. It is safe for
+// concurrent use.
+type Runner struct {
+	simulate func(sim.Scenario, sim.Params) (*sim.Result, error)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*cell // pending cells, FIFO
+	cells  map[sim.CellKey]*cell
+	hits   uint64
+	misses uint64
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New returns a Runner executing cells on workers goroutines; workers <= 0
+// selects GOMAXPROCS. Call Close when done to release the workers.
+func New(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r := &Runner{
+		simulate: sim.Run,
+		cells:    map[sim.CellKey]*cell{},
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go r.worker()
+	}
+	return r
+}
+
+func (r *Runner) worker() {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		for len(r.queue) == 0 && !r.closed {
+			r.cond.Wait()
+		}
+		if len(r.queue) == 0 {
+			r.mu.Unlock()
+			return
+		}
+		c := r.queue[0]
+		r.queue = r.queue[1:]
+		r.mu.Unlock()
+		r.exec(c)
+	}
+}
+
+func (r *Runner) exec(c *cell) {
+	c.res, c.err = r.simulate(c.sc, c.p)
+	close(c.done)
+}
+
+// Submit queues the cell for execution (unless an equal cell was already
+// submitted, in which case the existing one is shared) and returns a Future
+// for its result. Submit never blocks on simulation work and does not count
+// toward Stats — experiments prefetch their whole grid through Submit and
+// collect through Wait, and only collection says whether memoization saved a
+// simulation.
+func (r *Runner) Submit(sc sim.Scenario, p sim.Params) *Future {
+	k := sim.Key(sc, p)
+	r.mu.Lock()
+	if c, ok := r.cells[k]; ok {
+		r.mu.Unlock()
+		return &Future{r, c}
+	}
+	c := &cell{sc: sc, p: p, done: make(chan struct{})}
+	r.cells[k] = c
+	if r.closed {
+		// The pool is gone; run the cell inline so late submissions still
+		// complete instead of waiting forever.
+		r.mu.Unlock()
+		r.exec(c)
+		return &Future{r, c}
+	}
+	r.queue = append(r.queue, c)
+	r.cond.Signal()
+	r.mu.Unlock()
+	return &Future{r, c}
+}
+
+// Run simulates one cell, sharing any prior (or in-flight) simulation of the
+// same key. It blocks until the result is available.
+func (r *Runner) Run(sc sim.Scenario, p sim.Params) (*sim.Result, error) {
+	return r.Submit(sc, p).Wait()
+}
+
+// Stats reports collection outcomes: misses are cells whose result was
+// computed for the caller (one per unique collected cell), hits are results
+// served from the memo — simulations that memoization avoided.
+func (r *Runner) Stats() (hits, misses uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits, r.misses
+}
+
+// Close lets the workers drain the queue and exit, then waits for them.
+// Futures obtained before Close remain valid; Submit after Close executes
+// inline on the caller.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.wg.Wait()
+}

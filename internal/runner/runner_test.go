@@ -1,0 +1,170 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func testScenario(t *testing.T, name string) sim.Scenario {
+	t.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("missing workload %s", name)
+	}
+	return sim.Scenario{Workload: w}
+}
+
+// countingSim replaces the real simulator with a slow counter so the tests
+// observe exactly how many simulations the runner executes.
+func countingSim(n *atomic.Int64) func(sim.Scenario, sim.Params) (*sim.Result, error) {
+	return func(sc sim.Scenario, p sim.Params) (*sim.Result, error) {
+		n.Add(1)
+		time.Sleep(5 * time.Millisecond) // widen the singleflight window
+		return &sim.Result{Scenario: sc}, nil
+	}
+}
+
+func TestMemoizationSingleflight(t *testing.T) {
+	var sims atomic.Int64
+	r := New(4)
+	r.simulate = countingSim(&sims)
+	defer r.Close()
+
+	sc := testScenario(t, "mcf")
+	p := sim.DefaultParams()
+	const requests = 16
+	results := make([]*sim.Result, requests)
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Run(sc, p)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+
+	if got := sims.Load(); got != 1 {
+		t.Fatalf("same cell simulated %d times, want exactly 1", got)
+	}
+	for i, res := range results {
+		if res != results[0] {
+			t.Fatalf("request %d got a different result object: all requesters must share one simulation", i)
+		}
+	}
+	hits, misses := r.Stats()
+	if misses != 1 || hits != requests-1 {
+		t.Fatalf("stats = %d hits, %d misses; want %d hits, 1 miss", hits, misses, requests-1)
+	}
+}
+
+func TestDistinctCellsSimulateSeparately(t *testing.T) {
+	var sims atomic.Int64
+	r := New(2)
+	r.simulate = countingSim(&sims)
+	defer r.Close()
+
+	p := sim.DefaultParams()
+	mcf := testScenario(t, "mcf")
+	colo := mcf
+	colo.Colocated = true
+	p2 := p
+	p2.MeasureWalks /= 2
+	// Same Native config, differing only in Guest: a regression guard for the
+	// cell key, which must not collapse configurations whose rendered form
+	// (ASAPConfig.String) is identical.
+	nativeP1 := mcf
+	nativeP1.ASAP = sim.ASAPConfig{Native: core.Config{P1: true}}
+	mixed := nativeP1
+	mixed.ASAP.Guest = core.Config{P1: true, P2: true}
+
+	futures := []*Future{
+		r.Submit(mcf, p),
+		r.Submit(colo, p),     // different scenario
+		r.Submit(mcf, p2),     // same scenario, different params
+		r.Submit(mcf, p),      // duplicate of the first
+		r.Submit(colo, p),     // duplicate of the second
+		r.Submit(nativeP1, p), // distinct ASAP config
+		r.Submit(mixed, p),    // same String() as nativeP1, different config
+	}
+	for _, f := range futures {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sims.Load(); got != 5 {
+		t.Fatalf("simulated %d cells, want 5 unique", got)
+	}
+	hits, misses := r.Stats()
+	if misses != 5 || hits != 2 {
+		t.Fatalf("stats = %d hits, %d misses; want 2 hits, 5 misses", hits, misses)
+	}
+}
+
+func TestErrorSharedByAllRequesters(t *testing.T) {
+	boom := errors.New("boom")
+	r := New(2)
+	r.simulate = func(sim.Scenario, sim.Params) (*sim.Result, error) {
+		time.Sleep(2 * time.Millisecond)
+		return nil, boom
+	}
+	defer r.Close()
+
+	sc := testScenario(t, "mcf")
+	p := sim.DefaultParams()
+	a := r.Submit(sc, p)
+	b := r.Submit(sc, p)
+	if _, err := a.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("first requester got %v, want boom", err)
+	}
+	if _, err := b.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("second requester got %v, want boom", err)
+	}
+}
+
+func TestSubmitAfterCloseRunsInline(t *testing.T) {
+	var sims atomic.Int64
+	r := New(1)
+	r.simulate = countingSim(&sims)
+	r.Close()
+
+	res, err := r.Run(testScenario(t, "mcf"), sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || sims.Load() != 1 {
+		t.Fatalf("submit after close: res=%v sims=%d, want inline execution", res, sims.Load())
+	}
+}
+
+func TestCloseDrainsQueue(t *testing.T) {
+	var sims atomic.Int64
+	r := New(1)
+	r.simulate = countingSim(&sims)
+
+	p := sim.DefaultParams()
+	var futures []*Future
+	for _, name := range []string{"mcf", "canneal", "redis"} {
+		futures = append(futures, r.Submit(testScenario(t, name), p))
+	}
+	r.Close()
+	for _, f := range futures {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sims.Load(); got != 3 {
+		t.Fatalf("close drained %d cells, want 3", got)
+	}
+}

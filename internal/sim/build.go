@@ -245,10 +245,19 @@ func hashName(name string) uint64 {
 
 // Assemblies are expensive to build (populating a 400 GB page table touches
 // hundreds of thousands of nodes), immutable once built, and shared across
-// many scenario cells, so they are memoized in a small LRU cache.
+// many scenario cells, so they are memoized in a small LRU cache. Entries are
+// singleflight: the first requester builds outside the global lock (distinct
+// assemblies build concurrently under a parallel runner) while concurrent
+// requesters of the same key wait for that one build.
+type buildEntry struct {
+	done chan struct{}
+	v    any
+	err  error
+}
+
 var (
 	buildMu    sync.Mutex
-	buildCache = map[string]any{}
+	buildCache = map[string]*buildEntry{}
 	buildOrder []string
 )
 
@@ -256,22 +265,56 @@ const buildCacheCap = 12
 
 func memoize(key string, build func() (any, error)) (any, error) {
 	buildMu.Lock()
-	defer buildMu.Unlock()
-	if v, ok := buildCache[key]; ok {
-		return v, nil
+	if e, ok := buildCache[key]; ok {
+		buildMu.Unlock()
+		<-e.done
+		return e.v, e.err
 	}
-	v, err := build()
-	if err != nil {
-		return nil, err
+	e := &buildEntry{done: make(chan struct{})}
+	for len(buildOrder) >= buildCacheCap && evictOldestCompleted() {
 	}
-	if len(buildOrder) >= buildCacheCap {
-		oldest := buildOrder[0]
-		buildOrder = buildOrder[1:]
-		delete(buildCache, oldest)
-	}
-	buildCache[key] = v
+	buildCache[key] = e
 	buildOrder = append(buildOrder, key)
-	return v, nil
+	buildMu.Unlock()
+
+	e.v, e.err = build()
+	close(e.done)
+	if e.err != nil {
+		// Drop failed builds so a later request retries instead of caching
+		// the error.
+		buildMu.Lock()
+		if buildCache[key] == e {
+			delete(buildCache, key)
+			for i, k := range buildOrder {
+				if k == key {
+					buildOrder = append(buildOrder[:i], buildOrder[i+1:]...)
+					break
+				}
+			}
+		}
+		buildMu.Unlock()
+	}
+	return e.v, e.err
+}
+
+// evictOldestCompleted drops the oldest finished entry, reporting whether one
+// was found. In-flight builds are never evicted: doing so would re-admit a
+// concurrent duplicate build of the same assembly, exactly what singleflight
+// exists to prevent. If every entry is in flight the cache temporarily
+// exceeds its cap; the caller's eviction loop shrinks it back under the cap
+// on later inserts. Callers hold buildMu.
+func evictOldestCompleted() bool {
+	for i, k := range buildOrder {
+		e := buildCache[k]
+		select {
+		case <-e.done:
+			buildOrder = append(buildOrder[:i], buildOrder[i+1:]...)
+			delete(buildCache, k)
+			return true
+		default:
+		}
+	}
+	return false
 }
 
 func nativeFor(spec workload.Spec, sorted bool, p Params) (*nativeAssembly, error) {
@@ -301,6 +344,6 @@ func virtFor(spec workload.Spec, guestSorted, hostSorted, hostHuge bool, p Param
 func ResetBuildCache() {
 	buildMu.Lock()
 	defer buildMu.Unlock()
-	buildCache = map[string]any{}
+	buildCache = map[string]*buildEntry{}
 	buildOrder = nil
 }

@@ -121,6 +121,23 @@ type Scenario struct {
 	ClusteredTLB  bool // replace the STLB with the Clustered TLB (§5.4.1)
 }
 
+// CellKey is the stable, comparable identity of one simulation cell. Unlike
+// Scenario.Name it covers every field — the full workload spec and parameter
+// set — so two cells share a CellKey iff a simulation of one is a valid
+// result for the other. Scenario and Params are flat comparable structs
+// (scalars and strings only), so the pair is used directly as a map key; a
+// rendered form (e.g. %+v) would be lossy here because fmt invokes
+// ASAPConfig.String, which collapses distinct Guest/Host configurations.
+type CellKey struct {
+	Scenario Scenario
+	Params   Params
+}
+
+// Key returns the canonical cell identity for simulating s under p.
+func Key(s Scenario, p Params) CellKey {
+	return CellKey{Scenario: s, Params: p}
+}
+
 // Name renders a compact scenario label for logs and tables.
 func (s Scenario) Name() string {
 	n := s.Workload.Name

@@ -94,7 +94,7 @@ func runNative(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 	measuring := false
 	for refs = 0; refs < p.MaxRefs; refs++ {
 		if !measuring && walksTotal >= p.WarmupWalks {
-			measure.begin(tl)
+			measure.begin(tl, engine, mshr)
 			measuring = true
 		}
 		if measuring && int(measure.walks) >= p.MeasureWalks {
@@ -158,7 +158,7 @@ func runVirt(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 	measuring := false
 	for refs = 0; refs < p.MaxRefs; refs++ {
 		if !measuring && walksTotal >= p.WarmupWalks {
-			measure.begin(tl)
+			measure.begin(tl, w.GuestASAP, mshr)
 			measuring = true
 		}
 		if measuring && int(measure.walks) >= p.MeasureWalks {
@@ -202,16 +202,25 @@ type meter struct {
 	dataCycles   float64
 	tlbAccesses0 uint64
 	tlbMisses0   uint64
+	lookups0     uint64
+	rangeHits0   uint64
+	dropped0     uint64
 }
 
 func newMeter(spec workload.Spec, p Params) *meter {
 	return &meter{p: p, spec: spec}
 }
 
-// begin snapshots cumulative TLB counters at the warmup/measure boundary.
-func (m *meter) begin(tl *tlb.TwoLevel) {
+// begin snapshots cumulative TLB, range-register and MSHR counters at the
+// warmup/measure boundary so finish can report measured-window deltas.
+func (m *meter) begin(tl *tlb.TwoLevel, engine *core.Engine, mshr *cache.MSHRFile) {
 	m.tlbAccesses0 = tl.Accesses
 	m.tlbMisses0 = tl.L2Misses
+	if engine != nil {
+		m.lookups0 = engine.Lookups()
+		m.rangeHits0 = engine.RangeHits()
+	}
+	m.dropped0 = mshr.Dropped()
 }
 
 func (m *meter) access() {
@@ -251,7 +260,9 @@ func (m *meter) finish(res *Result, tl *tlb.TwoLevel, engine *core.Engine, mshr 
 		res.WalkFraction = float64(m.walkCycles) / res.TotalCycles
 	}
 	if engine != nil {
-		res.RangeHitRate = engine.RangeHitRate()
+		if lookups := engine.Lookups() - m.lookups0; lookups > 0 {
+			res.RangeHitRate = float64(engine.RangeHits()-m.rangeHits0) / float64(lookups)
+		}
 	}
-	res.MSHRDropped = mshr.Dropped()
+	res.MSHRDropped = mshr.Dropped() - m.dropped0
 }
