@@ -90,6 +90,12 @@ func main() {
 	if sc.ASAP.Enabled() {
 		fmt.Printf("prefetches          %d issued, %d accesses covered\n", res.PrefetchIssued, res.PrefetchCovered)
 		fmt.Printf("range-register hits %.1f%%\n", 100*res.RangeHitRate)
+		if sc.Virtualized && sc.ASAP.Host.Enabled() {
+			fmt.Printf("host range hits     %.1f%%\n", 100*res.HostRangeHitRate)
+		}
+		if res.RangeOverflowed > 0 {
+			fmt.Printf("descriptors dropped %d (range-register file full)\n", res.RangeOverflowed)
+		}
 	}
 	if *breakdown {
 		fmt.Println()

@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	paperrepro -exp all            # everything (several minutes)
-//	paperrepro -exp fig8           # one experiment
-//	paperrepro -exp fig10 -fast    # reduced measurement protocol
-//	paperrepro -exp all -j 8       # fan scenario cells over 8 workers
-//	paperrepro -list               # list experiment names
+//	paperrepro -exp all                       # everything (several minutes)
+//	paperrepro -exp fig8                      # one experiment
+//	paperrepro -exp fig10 -fast               # reduced measurement protocol
+//	paperrepro -exp all -j 8                  # fan scenario cells over 8 workers
+//	paperrepro -exp all -repeats 3 -out DIR   # 3 repeats/cell + artifact files
+//	paperrepro -list                          # list experiment names
 //
 // Scenario cells always run through a memoizing runner, so cells shared
 // between experiments (Fig 2 and Fig 3 iterate the same grid; Table 1 and
@@ -16,6 +17,13 @@
 // many cells simulate concurrently; table output is identical for every -j
 // because results are collected in submission order. A cache-utilization
 // summary goes to stderr, keeping stdout byte-for-byte comparable.
+//
+// -repeats N simulates every cell N times under per-repeat derived seeds and
+// renders walk-latency cells as "mean ± σ"; -repeats 1 (the default) keeps
+// stdout byte-identical to the single-run harness. -out DIR writes
+// machine-readable per-cell records — one file per experiment under
+// DIR/<format>/ plus a grouped mean/std/CI95 summary under DIR/analysis/ —
+// in the format selected by -format (csv or json).
 package main
 
 import (
@@ -25,17 +33,28 @@ import (
 	"runtime"
 
 	"repro/internal/exp"
+	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
 func main() {
+	// All work happens in run so that deferred shutdown (runner workers) and
+	// the stderr reporting below execute on every path; os.Exit here would
+	// skip them.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		name = flag.String("exp", "all", "experiment to run (see -list)")
-		fast = flag.Bool("fast", false, "reduced measurement protocol (quicker, noisier)")
-		list = flag.Bool("list", false, "list experiment names and exit")
-		only = flag.String("workload", "", "restrict to one workload (where applicable)")
-		jobs = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent scenario simulations (1 = sequential)")
+		name    = flag.String("exp", "all", "experiment to run (see -list)")
+		fast    = flag.Bool("fast", false, "reduced measurement protocol (quicker, noisier)")
+		list    = flag.Bool("list", false, "list experiment names and exit")
+		only    = flag.String("workload", "", "restrict to one workload (where applicable)")
+		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent scenario simulations (1 = sequential)")
+		repeats = flag.Int("repeats", 1, "independent repeats per scenario cell (seeds derived per repeat)")
+		out     = flag.String("out", "", "directory for machine-readable per-cell artifacts (empty = none)")
+		format  = flag.String("format", "csv", "artifact format: csv or json")
 	)
 	flag.Parse()
 
@@ -43,7 +62,15 @@ func main() {
 		for _, e := range exp.Experiments() {
 			fmt.Println(e.Name)
 		}
-		return
+		return 0
+	}
+	if *repeats < 1 {
+		fmt.Fprintln(os.Stderr, "paperrepro: -repeats must be >= 1")
+		return 2
+	}
+	if *format != "csv" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "paperrepro: unknown -format %q (want csv or json)\n", *format)
+		return 2
 	}
 	o := exp.Default(os.Stdout)
 	if *fast {
@@ -53,20 +80,39 @@ func main() {
 		spec, ok := workload.ByName(*only)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *only)
-			os.Exit(2)
+			return 2
 		}
 		o.Workloads = []workload.Spec{spec}
+	}
+	o.Repeats = *repeats
+	var col *report.Collector
+	if *out != "" {
+		col = report.NewCollector()
+		o.Sink = col
 	}
 	r := runner.New(*jobs)
 	defer r.Close()
 	o.Runner = r
+
+	code := 0
 	if err := exp.Run(*name, o); err != nil {
 		fmt.Fprintln(os.Stderr, "paperrepro:", err)
-		os.Exit(1)
+		code = 1
 	}
-	hits, misses := r.Stats()
-	if total := hits + misses; total > 0 {
+	// Reporting happens on every path: the cache summary always, and the
+	// artifact tree for whatever completed before a failure.
+	if hits, misses := r.Stats(); hits+misses > 0 {
+		total := hits + misses
 		fmt.Fprintf(os.Stderr, "runner: %d unique cells simulated, %d cache hits (%.1f%% of %d requests)\n",
 			misses, hits, 100*float64(hits)/float64(total), total)
 	}
+	if col != nil {
+		records := col.Records()
+		if err := report.WriteArtifacts(*out, *format, records); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "report: wrote %d records (%s) to %s\n", len(records), *format, *out)
+	}
+	return code
 }

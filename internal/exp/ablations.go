@@ -31,7 +31,7 @@ func AblationPWC(o Options) error {
 		}
 		d := 1 - r.AvgWalkLat/base.AvgWalkLat
 		red.Add(d)
-		tb.AddRow(w.Name, stats.F1(base.AvgWalkLat), stats.F1(r.AvgWalkLat), stats.Pct(d))
+		tb.AddRow(w.Name, base.lat(), r.lat(), stats.Pct(d))
 	}
 	tb.AddRow("Average", "", "", stats.Pct(red.Value()))
 	o.printf("Ablation (§5.1.1): doubling page-walk cache capacity\n\n%s\n", tb)
@@ -69,7 +69,7 @@ func AblationHoles(o Options, name string) error {
 		if r.PrefetchIssued > 0 {
 			coverage = float64(r.PrefetchCovered) / float64(r.PrefetchIssued)
 		}
-		tb.AddRow(fmt.Sprintf("%.0f%%", 100*h), stats.F1(r.AvgWalkLat),
+		tb.AddRow(fmt.Sprintf("%.0f%%", 100*h), r.lat(),
 			stats.Pct(1-r.AvgWalkLat/base.AvgWalkLat), stats.Pct(coverage))
 	}
 	o.printf("Ablation (§3.7.2): page-table region holes, %s native P1+P2\n\n%s\n", name, tb)
@@ -89,7 +89,7 @@ func AblationRangeRegisters(o Options, name string) error {
 		p.Params.RangeRegisters = n
 		p.prefetch(sim.Scenario{Workload: w, ASAP: cfgP1P2})
 	}
-	tb := stats.NewTable("range registers", "range hit rate", "avg walk latency")
+	tb := stats.NewTable("range registers", "range hit rate", "dropped descs", "avg walk latency")
 	for _, n := range regCounts {
 		p := o
 		p.Params.RangeRegisters = n
@@ -97,7 +97,8 @@ func AblationRangeRegisters(o Options, name string) error {
 		if err != nil {
 			return err
 		}
-		tb.AddRow(fmt.Sprintf("%d", n), stats.Pct(r.RangeHitRate), stats.F1(r.AvgWalkLat))
+		tb.AddRow(fmt.Sprintf("%d", n), stats.Pct(r.RangeHitRate),
+			fmt.Sprintf("%d", r.RangeOverflowed), r.lat())
 	}
 	o.printf("Ablation (§3.4): range-register capacity, %s native P1+P2\n\n%s\n", name, tb)
 	return nil
@@ -129,8 +130,8 @@ func AblationFiveLevel(o Options) error {
 		if err != nil {
 			return err
 		}
-		tb.AddRow(w.Name, stats.F1(four.AvgWalkLat), stats.F1(base5.AvgWalkLat),
-			stats.F1(asap5.AvgWalkLat), stats.Pct(1-asap5.AvgWalkLat/base5.AvgWalkLat))
+		tb.AddRow(w.Name, four.lat(), base5.lat(),
+			asap5.lat(), stats.Pct(1-asap5.AvgWalkLat/base5.AvgWalkLat))
 	}
 	o.printf("Ablation (§3.5): five-level page tables\n\n%s\n", tb)
 	return nil
@@ -166,10 +167,12 @@ func Experiments() []struct {
 	}
 }
 
-// Run executes the named experiment ("all" runs everything).
+// Run executes the named experiment ("all" runs everything), attributing
+// emitted records to the experiment's registry name.
 func Run(name string, o Options) error {
 	if name == "all" {
 		for _, e := range Experiments() {
+			o.Exp = e.Name
 			if err := e.Run(o); err != nil {
 				return fmt.Errorf("%s: %w", e.Name, err)
 			}
@@ -178,6 +181,7 @@ func Run(name string, o Options) error {
 	}
 	for _, e := range Experiments() {
 		if e.Name == name {
+			o.Exp = e.Name
 			return e.Run(o)
 		}
 	}

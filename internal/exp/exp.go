@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -27,6 +28,19 @@ type Options struct {
 	// submission order so rendered output matches a sequential run byte for
 	// byte. When nil, cells run sequentially in place.
 	Runner *runner.Runner
+	// Repeats is the number of independent repeats per scenario cell; 0 and 1
+	// both run each cell exactly once with Params.Seed, keeping rendered
+	// output byte-identical to the single-run harness. With N > 1 every cell
+	// simulates N times under per-repeat derived seeds
+	// (sim.Params.ForRepeat), tables render the mean with a "± σ" run-to-run
+	// deviation on walk-latency cells, and each repeat emits its own record.
+	Repeats int
+	// Sink, when non-nil, receives one machine-readable report.Record per
+	// (cell, repeat) alongside the rendered text table.
+	Sink report.Sink
+	// Exp names the experiment currently attributing records; Run sets it
+	// from the experiment registry before dispatching.
+	Exp string
 }
 
 // Default returns full-fidelity options writing to out.
@@ -42,21 +56,70 @@ func Fast(out io.Writer) Options {
 	return o
 }
 
-func (o Options) run(sc sim.Scenario) (*sim.Result, error) {
-	if o.Runner != nil {
-		return o.Runner.Run(sc, o.Params)
+// repeats returns the effective repeat count (at least 1).
+func (o Options) repeats() int {
+	if o.Repeats > 1 {
+		return o.Repeats
 	}
-	return sim.Run(sc, o.Params)
+	return 1
 }
 
-// prefetch queues cells for concurrent execution ahead of the in-order
-// collection pass. It is a no-op without a runner.
+// cellResult is what experiments consume per scenario cell: the mean result
+// over the cell's repeats (the lone result for a single repeat — sim.Result's
+// fields are promoted, so table code reads metrics exactly as before) plus
+// the per-metric sample standard deviation when more than one repeat ran.
+type cellResult struct {
+	*sim.Result
+	sigma *sim.Result // nil for a single repeat
+}
+
+// run simulates every repeat of one cell, emits a record per repeat to the
+// sink (when configured), and returns the aggregated cell result.
+func (o Options) run(sc sim.Scenario) (*cellResult, error) {
+	n := o.repeats()
+	rs := make([]*sim.Result, n)
+	for i := 0; i < n; i++ {
+		var r *sim.Result
+		var err error
+		if o.Runner != nil {
+			r, err = o.Runner.RunRepeat(sc, o.Params, i)
+		} else {
+			r, err = sim.Run(sc, o.Params.ForRepeat(i))
+		}
+		if err != nil {
+			return nil, err
+		}
+		if o.Sink != nil {
+			o.Sink.Add(report.FromResult(o.Exp, sc, o.Params, i, r))
+		}
+		rs[i] = r
+	}
+	if n == 1 {
+		return &cellResult{Result: rs[0]}, nil
+	}
+	mean, std := sim.Aggregate(rs)
+	return &cellResult{Result: mean, sigma: std}, nil
+}
+
+// lat renders the cell's mean walk latency, with the run-to-run σ appended
+// when multiple repeats were simulated.
+func (c *cellResult) lat() string {
+	if c.sigma == nil {
+		return stats.F1(c.AvgWalkLat)
+	}
+	return stats.F1(c.AvgWalkLat) + " ± " + stats.F1(c.sigma.AvgWalkLat)
+}
+
+// prefetch queues every repeat of the given cells for concurrent execution
+// ahead of the in-order collection pass. It is a no-op without a runner.
 func (o Options) prefetch(scs ...sim.Scenario) {
 	if o.Runner == nil {
 		return
 	}
 	for _, sc := range scs {
-		o.Runner.Submit(sc, o.Params)
+		for i := 0; i < o.repeats(); i++ {
+			o.Runner.SubmitRepeat(sc, o.Params, i)
+		}
 	}
 }
 
@@ -105,14 +168,14 @@ func Table1(o Options) error {
 		return err
 	}
 	tb := stats.NewTable("scenario", "avg walk latency", "vs native isolated", "paper")
-	tb.AddRow("native isolated (80GB)", stats.F1(base.AvgWalkLat), "1.0×", "1.0×")
+	tb.AddRow("native isolated (80GB)", base.lat(), "1.0×", "1.0×")
 	paper := []string{"1.2×", "2.7×", "5.3×", "12.0×"}
 	for i, c := range cells {
 		r, err := o.run(c.sc)
 		if err != nil {
 			return err
 		}
-		tb.AddRow(c.name, stats.F1(r.AvgWalkLat), stats.Ratio(r.AvgWalkLat/base.AvgWalkLat), paper[i])
+		tb.AddRow(c.name, r.lat(), stats.Ratio(r.AvgWalkLat/base.AvgWalkLat), paper[i])
 	}
 	o.printf("Table 1: memcached page-walk latency under pressure (normalized)\n\n%s\n", tb)
 	return nil
@@ -189,7 +252,7 @@ func Fig3(o Options) error {
 				return err
 			}
 			sums[i].Add(r.AvgWalkLat)
-			row = append(row, stats.F1(r.AvgWalkLat))
+			row = append(row, r.lat())
 		}
 		tb.AddRow(row...)
 	}
@@ -231,17 +294,18 @@ func Fig8(o Options) error {
 		tb := stats.NewTable("workload", "Baseline", "P1", "P1+P2", "P1 red.", "P1+P2 red.")
 		var sums [3]stats.Mean
 		for _, w := range o.Workloads {
-			var lat [3]float64
+			var res [3]*cellResult
 			for i, sc := range cells(w, colo) {
 				r, err := o.run(sc)
 				if err != nil {
 					return err
 				}
-				lat[i] = r.AvgWalkLat
+				res[i] = r
 				sums[i].Add(r.AvgWalkLat)
 			}
-			tb.AddRow(w.Name, stats.F1(lat[0]), stats.F1(lat[1]), stats.F1(lat[2]),
-				stats.Pct(1-lat[1]/lat[0]), stats.Pct(1-lat[2]/lat[0]))
+			tb.AddRow(w.Name, res[0].lat(), res[1].lat(), res[2].lat(),
+				stats.Pct(1-res[1].AvgWalkLat/res[0].AvgWalkLat),
+				stats.Pct(1-res[2].AvgWalkLat/res[0].AvgWalkLat))
 		}
 		tb.AddRow("Average", stats.F1(sums[0].Value()), stats.F1(sums[1].Value()), stats.F1(sums[2].Value()),
 			stats.Pct(1-sums[1].Value()/sums[0].Value()), stats.Pct(1-sums[2].Value()/sums[0].Value()))
@@ -324,7 +388,7 @@ func Fig10(o Options) error {
 				}
 				lat[i] = r.AvgWalkLat
 				sums[i].Add(r.AvgWalkLat)
-				row = append(row, stats.F1(r.AvgWalkLat))
+				row = append(row, r.lat())
 			}
 			tb.AddRow(append(row, stats.Pct(1-lat[len(lat)-1]/lat[0]))...)
 		}
@@ -359,17 +423,19 @@ func Fig12(o Options) error {
 		}
 	}
 	for _, w := range o.Workloads {
-		var lat [4]float64
+		var res [4]*cellResult
 		for i, cell := range fig12Cells {
 			r, err := o.run(sim.Scenario{Workload: w, Virtualized: true, HostHugePages: true, Colocated: cell.colo, ASAP: cell.cfg})
 			if err != nil {
 				return err
 			}
-			lat[i] = r.AvgWalkLat
+			res[i] = r
 			sums[i].Add(r.AvgWalkLat)
 		}
-		tb.AddRow(w.Name, stats.F1(lat[0]), stats.F1(lat[1]), stats.Pct(1-lat[1]/lat[0]),
-			stats.F1(lat[2]), stats.F1(lat[3]), stats.Pct(1-lat[3]/lat[2]))
+		tb.AddRow(w.Name, res[0].lat(), res[1].lat(),
+			stats.Pct(1-res[1].AvgWalkLat/res[0].AvgWalkLat),
+			res[2].lat(), res[3].lat(),
+			stats.Pct(1-res[3].AvgWalkLat/res[2].AvgWalkLat))
 	}
 	tb.AddRow("Average", stats.F1(sums[0].Value()), stats.F1(sums[1].Value()),
 		stats.Pct(1-sums[1].Value()/sums[0].Value()),

@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/exp -run Golden -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenFig3 locks one experiment end to end: the rendered table text and
+// the emitted CSV records, catching any accidental change to either the text
+// path or the artifact schema.
+func TestGoldenFig3(t *testing.T) {
+	sim.ResetBuildCache()
+	var buf bytes.Buffer
+	o := testOptions(&buf)
+	col := report.NewCollector()
+	o.Sink = col
+	if err := Run("fig3", o); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig3.golden", buf.Bytes())
+
+	dir := t.TempDir()
+	if err := report.WriteArtifacts(dir, "csv", col.Records()); err != nil {
+		t.Fatal(err)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "csv", "fig3.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig3_csv.golden", csv)
+}
+
+// TestGoldenJSONSchema locks the JSON record schema: every key column and
+// every metric column present, nothing unexpected.
+func TestGoldenJSONSchema(t *testing.T) {
+	sim.ResetBuildCache()
+	var buf bytes.Buffer
+	o := testOptions(&buf)
+	o.Workloads = o.Workloads[:1]
+	col := report.NewCollector()
+	o.Sink = col
+	if err := Run("fig3", o); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := report.WriteArtifacts(dir, "json", col.Records()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "json", "fig3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var objs []map[string]any
+	if err := json.Unmarshal(b, &objs); err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 4 { // one workload × four deployment scenarios
+		t.Fatalf("%d records", len(objs))
+	}
+	want := map[string]bool{}
+	for _, k := range append(append([]string{}, report.KeyCols...), report.MetricCols...) {
+		want[k] = true
+	}
+	for k := range objs[0] {
+		if !want[k] {
+			t.Fatalf("unexpected json key %q", k)
+		}
+		delete(want, k)
+	}
+	for k := range want {
+		t.Fatalf("json record missing key %q", k)
+	}
+}
+
+// TestRepeatsOneMatchesDefault enforces the tentpole's compatibility
+// contract: enabling the artifact pipeline with a single repeat leaves the
+// rendered text byte-identical to a plain run.
+func TestRepeatsOneMatchesDefault(t *testing.T) {
+	sim.ResetBuildCache()
+	for _, name := range []string{"fig3", "fig8", "ablation-regs"} {
+		var plain bytes.Buffer
+		if err := Run(name, testOptions(&plain)); err != nil {
+			t.Fatal(err)
+		}
+		var instrumented bytes.Buffer
+		o := testOptions(&instrumented)
+		o.Repeats = 1
+		o.Sink = report.NewCollector()
+		if err := Run(name, o); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(plain.Bytes(), instrumented.Bytes()) {
+			t.Fatalf("%s: -repeats 1 output drifted:\n--- plain ---\n%s\n--- instrumented ---\n%s",
+				name, plain.Bytes(), instrumented.Bytes())
+		}
+	}
+}
+
+// TestRepeatsAggregate checks the multi-repeat path end to end: one record
+// per (cell, repeat), grouped summaries with the right repeat count, and the
+// "± σ" rendering on latency cells.
+func TestRepeatsAggregate(t *testing.T) {
+	sim.ResetBuildCache()
+	var buf bytes.Buffer
+	o := testOptions(&buf)
+	o.Workloads = o.Workloads[:1]
+	o.Repeats = 2
+	col := report.NewCollector()
+	o.Sink = col
+	if err := Run("fig3", o); err != nil {
+		t.Fatal(err)
+	}
+	records := col.Records()
+	if len(records) != 8 { // 1 workload × 4 scenarios × 2 repeats
+		t.Fatalf("%d records", len(records))
+	}
+	repeats := map[string]map[int]bool{}
+	for _, r := range records {
+		if r.Experiment != "fig3" {
+			t.Fatalf("record attributed to %q", r.Experiment)
+		}
+		if repeats[r.GroupKey()] == nil {
+			repeats[r.GroupKey()] = map[int]bool{}
+		}
+		repeats[r.GroupKey()][r.Repeat] = true
+	}
+	for k, reps := range repeats {
+		if !reps[0] || !reps[1] {
+			t.Fatalf("group %q missing a repeat: %v", k, reps)
+		}
+	}
+	if !strings.Contains(buf.String(), " ± ") {
+		t.Fatalf("multi-repeat table lacks ± σ cells:\n%s", buf.String())
+	}
+	for _, row := range report.Summarize(records) {
+		if row.Stat.N != 2 {
+			t.Fatalf("summary group has %d repeats", row.Stat.N)
+		}
+	}
+}

@@ -142,7 +142,7 @@ func Fig11(o Options) error {
 		if err != nil {
 			return err
 		}
-		perRef := func(r *sim.Result) float64 { return float64(r.WalkCycles) / float64(r.Accesses) }
+		perRef := func(r *cellResult) float64 { return float64(r.WalkCycles) / float64(r.Accesses) }
 		row := []string{w.Name}
 		for i, sc := range cells[1:] {
 			r, err := o.run(sc)

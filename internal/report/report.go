@@ -1,0 +1,140 @@
+// Package report turns experiment results into machine-readable artifacts.
+//
+// The paper's tables and figures render as fixed-width text on stdout, which
+// is good for eyeballs and byte-identical golden tests but useless for
+// downstream analysis. This package defines the typed per-cell record every
+// experiment emits alongside its text table — one record per (experiment,
+// scenario cell, repeat), carrying the scenario key, a digest of the
+// parameter set, the repeat's seed and every sim.Result metric — plus CSV and
+// JSON writers and a grouped mean/std/CI summary over repeats, mirroring the
+// artifact pipelines of comparable evaluation harnesses.
+package report
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// KeyCols is the ordered list of identity columns in every artifact file.
+// Besides the scenario key, the parameters the ablation experiments sweep
+// (range registers, hole probability, five-level tables, PWC capacities) are
+// broken out as plain columns so sweep rows are distinguishable without
+// decoding the digest.
+var KeyCols = []string{
+	"experiment", "cell", "workload", "virtualized", "colocated",
+	"host_huge_pages", "clustered_tlb", "asap",
+	"range_registers", "hole_prob", "five_level", "pwc_entries",
+	"params_digest", "repeat", "seed",
+}
+
+// MetricCols is the ordered metric schema shared by the CSV header, the JSON
+// records and the grouped summary. It mirrors sim.Result field for field.
+var MetricCols = []string{
+	"accesses", "walks", "walk_cycles", "avg_walk_lat", "tlb_miss_ratio",
+	"mpki", "total_cycles", "walk_fraction", "prefetch_issued",
+	"prefetch_covered", "range_hit_rate", "host_range_hit_rate",
+	"mshr_dropped", "range_overflowed",
+}
+
+// Record is one simulated cell repeat in machine-readable form.
+type Record struct {
+	Experiment    string
+	Cell          string // sim.Scenario.Name()
+	Workload      string
+	Virtualized   bool
+	Colocated     bool
+	HostHugePages bool
+	ClusteredTLB  bool
+	ASAP          string
+	// Swept parameters (the ablation axes), broken out from the digest.
+	RangeRegisters int
+	HoleProb       float64
+	FiveLevel      bool
+	PWCEntries     string // "PL4/PL3/PL2" entry counts
+	ParamsDigest   string // Digest of the base parameter set (seed excluded)
+	Repeat         int
+	Seed           uint64    // the repeat's derived seed
+	Metrics        []float64 // parallel to MetricCols
+}
+
+// GroupKey identifies the cell a record belongs to regardless of repeat:
+// records with equal GroupKeys are repeats of one simulation configuration.
+func (r Record) GroupKey() string {
+	return r.Experiment + "\x00" + r.Cell + "\x00" + r.ParamsDigest
+}
+
+// FromResult builds the record for one repeat of a cell. base is the
+// experiment's parameter set before per-repeat seed derivation: the digest
+// identifies the configuration, while Seed records the seed the repeat
+// actually ran with.
+func FromResult(experiment string, sc sim.Scenario, base sim.Params, repeat int, res *sim.Result) Record {
+	return Record{
+		Experiment:     experiment,
+		Cell:           sc.Name(),
+		Workload:       sc.Workload.Name,
+		Virtualized:    sc.Virtualized,
+		Colocated:      sc.Colocated,
+		HostHugePages:  sc.HostHugePages,
+		ClusteredTLB:   sc.ClusteredTLB,
+		ASAP:           sc.ASAP.String(),
+		RangeRegisters: base.RangeRegisters,
+		HoleProb:       base.HoleProb,
+		FiveLevel:      base.FiveLevel,
+		PWCEntries: fmt.Sprintf("%d/%d/%d",
+			base.PWC.PL4Entries, base.PWC.PL3Entries, base.PWC.PL2Entries),
+		ParamsDigest: Digest(base),
+		Repeat:       repeat,
+		Seed:         base.ForRepeat(repeat).Seed,
+		Metrics: []float64{
+			float64(res.Accesses), float64(res.Walks), float64(res.WalkCycles),
+			res.AvgWalkLat, res.TLBMissRatio, res.MPKI, res.TotalCycles,
+			res.WalkFraction, float64(res.PrefetchIssued),
+			float64(res.PrefetchCovered), res.RangeHitRate,
+			res.HostRangeHitRate, float64(res.MSHRDropped),
+			float64(res.RangeOverflowed),
+		},
+	}
+}
+
+// Digest returns a stable hex digest of the parameter set with the seed
+// zeroed: two cells share a digest iff they simulate the same configuration,
+// and repeats of one cell (which differ only in derived seed) always share
+// it. Params is a flat struct of scalars, so its %+v rendering is canonical.
+func Digest(p sim.Params) string {
+	p.Seed = 0
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", p)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Sink receives records as experiments produce them.
+type Sink interface {
+	Add(Record)
+}
+
+// Collector is a Sink that accumulates records in memory for writing at the
+// end of a run. It is safe for concurrent use.
+type Collector struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add appends one record.
+func (c *Collector) Add(r Record) {
+	c.mu.Lock()
+	c.records = append(c.records, r)
+	c.mu.Unlock()
+}
+
+// Records returns the accumulated records in insertion order.
+func (c *Collector) Records() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Record(nil), c.records...)
+}

@@ -1,0 +1,226 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func testResult(lat float64) *sim.Result {
+	return &sim.Result{
+		Accesses: 1000, Walks: 100, WalkCycles: uint64(100 * lat),
+		AvgWalkLat: lat, TLBMissRatio: 0.1, MPKI: 2.5,
+		TotalCycles: 50000, WalkFraction: 0.2,
+		PrefetchIssued: 80, PrefetchCovered: 60,
+		RangeHitRate: 0.9, HostRangeHitRate: 0.5,
+		MSHRDropped: 3, RangeOverflowed: 1,
+	}
+}
+
+func testScenario() sim.Scenario {
+	return sim.Scenario{Workload: workload.Spec{Name: "tiny"}, Virtualized: true}
+}
+
+func TestFromResult(t *testing.T) {
+	p := sim.DefaultParams()
+	r := FromResult("fig3", testScenario(), p, 2, testResult(12.5))
+	if r.Experiment != "fig3" || r.Workload != "tiny" || !r.Virtualized || r.Repeat != 2 {
+		t.Fatalf("identity: %+v", r)
+	}
+	if r.Cell != testScenario().Name() {
+		t.Fatalf("cell %q", r.Cell)
+	}
+	if r.Seed != p.ForRepeat(2).Seed {
+		t.Fatalf("seed %d not the repeat-derived seed", r.Seed)
+	}
+	if len(r.Metrics) != len(MetricCols) {
+		t.Fatalf("%d metrics for %d columns", len(r.Metrics), len(MetricCols))
+	}
+	// avg_walk_lat is the fourth metric column.
+	if MetricCols[3] != "avg_walk_lat" || r.Metrics[3] != 12.5 {
+		t.Fatalf("metric order: %v", r.Metrics)
+	}
+	if len(r.row()) != len(KeyCols)+len(MetricCols) {
+		t.Fatalf("row width %d", len(r.row()))
+	}
+}
+
+func TestDigestIgnoresSeedOnly(t *testing.T) {
+	p := sim.DefaultParams()
+	q := p
+	q.Seed = 999
+	if Digest(p) != Digest(q) {
+		t.Fatal("digest must not depend on the seed")
+	}
+	q = p
+	q.RangeRegisters = 4
+	if Digest(p) == Digest(q) {
+		t.Fatal("digest must depend on non-seed parameters")
+	}
+	// Repeats of one cell share the digest by construction.
+	a := FromResult("x", testScenario(), p, 0, testResult(1))
+	b := FromResult("x", testScenario(), p, 3, testResult(2))
+	if a.ParamsDigest != b.ParamsDigest || a.GroupKey() != b.GroupKey() {
+		t.Fatal("repeats must group together")
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add(Record{Experiment: "e", Metrics: make([]float64, len(MetricCols))})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(c.Records()); got != 800 {
+		t.Fatalf("%d records", got)
+	}
+}
+
+func TestSummarizeGroups(t *testing.T) {
+	p := sim.DefaultParams()
+	records := []Record{
+		FromResult("fig3", testScenario(), p, 0, testResult(10)),
+		FromResult("fig3", testScenario(), p, 1, testResult(14)),
+	}
+	rows := Summarize(records)
+	if len(rows) != len(MetricCols) {
+		t.Fatalf("%d summary rows for one group", len(rows))
+	}
+	for _, row := range rows {
+		if row.Metric != "avg_walk_lat" {
+			continue
+		}
+		if row.Stat.N != 2 || row.Stat.Mean != 12 {
+			t.Fatalf("avg_walk_lat summary: %+v", row.Stat)
+		}
+		if row.Stat.Std < 2.82 || row.Stat.Std > 2.84 {
+			t.Fatalf("std: %+v", row.Stat)
+		}
+		return
+	}
+	t.Fatal("no avg_walk_lat summary row")
+}
+
+func TestWriteArtifactsCSV(t *testing.T) {
+	dir := t.TempDir()
+	p := sim.DefaultParams()
+	records := []Record{
+		FromResult("fig3", testScenario(), p, 0, testResult(10)),
+		FromResult("fig3", testScenario(), p, 1, testResult(14)),
+		FromResult("fig8", testScenario(), p, 0, testResult(9)),
+	}
+	if err := WriteArtifacts(dir, "csv", records); err != nil {
+		t.Fatal(err)
+	}
+	readCSV := func(path string) [][]string {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		rows, err := csv.NewReader(f).ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	fig3 := readCSV(filepath.Join(dir, "csv", "fig3.csv"))
+	if len(fig3) != 3 { // header + 2 repeats
+		t.Fatalf("fig3.csv rows: %d", len(fig3))
+	}
+	wantHeader := append(append([]string{}, KeyCols...), MetricCols...)
+	for i, h := range wantHeader {
+		if fig3[0][i] != h {
+			t.Fatalf("header[%d] = %q, want %q", i, fig3[0][i], h)
+		}
+	}
+	if fig8 := readCSV(filepath.Join(dir, "csv", "fig8.csv")); len(fig8) != 2 {
+		t.Fatalf("fig8.csv rows: %d", len(fig8))
+	}
+	summary := readCSV(filepath.Join(dir, "analysis", "summary.csv"))
+	// One group per (experiment, cell): 2 groups × len(MetricCols) + header.
+	if want := 2*len(MetricCols) + 1; len(summary) != want {
+		t.Fatalf("summary rows: %d, want %d", len(summary), want)
+	}
+	for i, h := range SummaryCols {
+		if summary[0][i] != h {
+			t.Fatalf("summary header[%d] = %q", i, summary[0][i])
+		}
+	}
+}
+
+func TestWriteArtifactsJSON(t *testing.T) {
+	dir := t.TempDir()
+	p := sim.DefaultParams()
+	records := []Record{FromResult("fig3", testScenario(), p, 0, testResult(10))}
+	if err := WriteArtifacts(dir, "json", records); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "json", "fig3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var objs []map[string]any
+	if err := json.Unmarshal(b, &objs); err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 {
+		t.Fatalf("%d objects", len(objs))
+	}
+	for _, key := range append(append([]string{}, KeyCols...), MetricCols...) {
+		if _, ok := objs[0][key]; !ok {
+			t.Fatalf("json record missing %q", key)
+		}
+	}
+	if objs[0]["avg_walk_lat"] != 10.0 {
+		t.Fatalf("avg_walk_lat = %v", objs[0]["avg_walk_lat"])
+	}
+	if _, err := os.Stat(filepath.Join(dir, "analysis", "summary.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteArtifactsUnnamedExperiment(t *testing.T) {
+	dir := t.TempDir()
+	p := sim.DefaultParams()
+	records := []Record{FromResult("", testScenario(), p, 0, testResult(10))}
+	if err := WriteArtifacts(dir, "csv", records); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "csv", "unnamed.csv")); err != nil {
+		t.Fatalf("empty experiment name not mapped to a visible file: %v", err)
+	}
+}
+
+func TestRecordCarriesSweptParams(t *testing.T) {
+	p := sim.DefaultParams()
+	p.RangeRegisters = 4
+	p.HoleProb = 0.2
+	p.FiveLevel = true
+	r := FromResult("ablation-regs", testScenario(), p, 0, testResult(10))
+	if r.RangeRegisters != 4 || r.HoleProb != 0.2 || !r.FiveLevel {
+		t.Fatalf("swept params not recorded: %+v", r)
+	}
+	if r.PWCEntries == "" {
+		t.Fatal("PWC entries not recorded")
+	}
+}
+
+func TestWriteArtifactsRejectsFormat(t *testing.T) {
+	if err := WriteArtifacts(t.TempDir(), "xml", nil); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -1,0 +1,203 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+// WriteArtifacts writes the run's artifact tree under dir, mirroring the
+// paper_runs/<stamp>/{csv,analysis} layout of comparable artifact pipelines:
+//
+//	dir/<format>/<experiment>.<format>   one per-cell record file per experiment
+//	dir/analysis/summary.<format>        grouped mean/std/CI95 over repeats
+//
+// format is "csv" or "json". Experiments appear in first-record order;
+// records within an experiment keep insertion order. Experiments that
+// simulate no cells (e.g. the static parameter tables) emit no file.
+func WriteArtifacts(dir, format string, records []Record) error {
+	if format != "csv" && format != "json" {
+		return fmt.Errorf("report: unknown format %q (want csv or json)", format)
+	}
+	perExp := map[string][]Record{}
+	var order []string
+	for _, r := range records {
+		if _, ok := perExp[r.Experiment]; !ok {
+			order = append(order, r.Experiment)
+		}
+		perExp[r.Experiment] = append(perExp[r.Experiment], r)
+	}
+	recDir := filepath.Join(dir, format)
+	if err := os.MkdirAll(recDir, 0o755); err != nil {
+		return err
+	}
+	for _, exp := range order {
+		name := exp
+		if name == "" {
+			// Records emitted outside exp.Run carry no experiment name; keep
+			// the file visible rather than writing a dotfile ".csv".
+			name = "unnamed"
+		}
+		path := filepath.Join(recDir, name+"."+format)
+		if err := writeRecords(path, format, perExp[exp]); err != nil {
+			return err
+		}
+	}
+	anaDir := filepath.Join(dir, "analysis")
+	if err := os.MkdirAll(anaDir, 0o755); err != nil {
+		return err
+	}
+	return writeSummary(filepath.Join(anaDir, "summary."+format), format, records)
+}
+
+func num(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+// row renders a record's identity columns (parallel to KeyCols) followed by
+// its metrics (parallel to MetricCols).
+func (r Record) row() []string {
+	cells := []string{
+		r.Experiment, r.Cell, r.Workload,
+		strconv.FormatBool(r.Virtualized), strconv.FormatBool(r.Colocated),
+		strconv.FormatBool(r.HostHugePages), strconv.FormatBool(r.ClusteredTLB),
+		r.ASAP, strconv.Itoa(r.RangeRegisters), num(r.HoleProb),
+		strconv.FormatBool(r.FiveLevel), r.PWCEntries,
+		r.ParamsDigest, strconv.Itoa(r.Repeat),
+		strconv.FormatUint(r.Seed, 10),
+	}
+	for _, v := range r.Metrics {
+		cells = append(cells, num(v))
+	}
+	return cells
+}
+
+// object renders a record as the JSON object the json format emits; keys are
+// KeyCols and MetricCols (encoding/json sorts them, so output is stable).
+func (r Record) object() map[string]any {
+	o := map[string]any{
+		"experiment": r.Experiment, "cell": r.Cell, "workload": r.Workload,
+		"virtualized": r.Virtualized, "colocated": r.Colocated,
+		"host_huge_pages": r.HostHugePages, "clustered_tlb": r.ClusteredTLB,
+		"asap": r.ASAP, "range_registers": r.RangeRegisters,
+		"hole_prob": r.HoleProb, "five_level": r.FiveLevel,
+		"pwc_entries":   r.PWCEntries,
+		"params_digest": r.ParamsDigest, "repeat": r.Repeat,
+		"seed": strconv.FormatUint(r.Seed, 10),
+	}
+	for i, name := range MetricCols {
+		o[name] = r.Metrics[i]
+	}
+	return o
+}
+
+func writeRecords(path, format string, records []Record) error {
+	if format == "json" {
+		objs := make([]map[string]any, len(records))
+		for i, r := range records {
+			objs[i] = r.object()
+		}
+		return writeJSON(path, objs)
+	}
+	rows := [][]string{append(append([]string{}, KeyCols...), MetricCols...)}
+	for _, r := range records {
+		rows = append(rows, r.row())
+	}
+	return writeCSV(path, rows)
+}
+
+// SummaryRow is the grouped statistic of one metric over a cell's repeats.
+type SummaryRow struct {
+	Experiment   string
+	Cell         string
+	ParamsDigest string
+	Metric       string
+	Stat         stats.Summary
+}
+
+// SummaryCols is the ordered column schema of the summary file.
+var SummaryCols = []string{
+	"experiment", "cell", "params_digest", "metric", "repeats", "mean", "std", "ci95",
+}
+
+// Summarize groups records by (experiment, cell, params digest) and computes
+// each metric's mean, sample standard deviation and 95% CI half-width over
+// the group's repeats. Groups keep first-record order; metrics keep
+// MetricCols order.
+func Summarize(records []Record) []SummaryRow {
+	groups := map[string][]Record{}
+	var order []string
+	for _, r := range records {
+		k := r.GroupKey()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	var rows []SummaryRow
+	for _, k := range order {
+		g := groups[k]
+		for i, metric := range MetricCols {
+			xs := make([]float64, len(g))
+			for j, r := range g {
+				xs[j] = r.Metrics[i]
+			}
+			rows = append(rows, SummaryRow{
+				Experiment:   g[0].Experiment,
+				Cell:         g[0].Cell,
+				ParamsDigest: g[0].ParamsDigest,
+				Metric:       metric,
+				Stat:         stats.Summarize(xs),
+			})
+		}
+	}
+	return rows
+}
+
+func writeSummary(path, format string, records []Record) error {
+	summary := Summarize(records)
+	if format == "json" {
+		objs := make([]map[string]any, len(summary))
+		for i, s := range summary {
+			objs[i] = map[string]any{
+				"experiment": s.Experiment, "cell": s.Cell,
+				"params_digest": s.ParamsDigest, "metric": s.Metric,
+				"repeats": s.Stat.N, "mean": s.Stat.Mean,
+				"std": s.Stat.Std, "ci95": s.Stat.CI95,
+			}
+		}
+		return writeJSON(path, objs)
+	}
+	rows := [][]string{SummaryCols}
+	for _, s := range summary {
+		rows = append(rows, []string{
+			s.Experiment, s.Cell, s.ParamsDigest, s.Metric,
+			strconv.Itoa(s.Stat.N), num(s.Stat.Mean), num(s.Stat.Std), num(s.Stat.CI95),
+		})
+	}
+	return writeCSV(path, rows)
+}
+
+func writeCSV(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

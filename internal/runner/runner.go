@@ -149,6 +149,20 @@ func (r *Runner) Run(sc sim.Scenario, p sim.Params) (*sim.Result, error) {
 	return r.Submit(sc, p).Wait()
 }
 
+// SubmitRepeat queues the rep-th independent repeat of a cell. The memo key
+// is repeat-aware through seed derivation: Params.ForRepeat folds the repeat
+// index into the seed, so distinct repeats are distinct cells (each simulated
+// once no matter how many experiments request them) while repeat 0 shares the
+// base cell with plain Submit.
+func (r *Runner) SubmitRepeat(sc sim.Scenario, p sim.Params, rep int) *Future {
+	return r.Submit(sc, p.ForRepeat(rep))
+}
+
+// RunRepeat is SubmitRepeat followed by Wait.
+func (r *Runner) RunRepeat(sc sim.Scenario, p sim.Params, rep int) (*sim.Result, error) {
+	return r.SubmitRepeat(sc, p, rep).Wait()
+}
+
 // Stats reports collection outcomes: misses are cells whose result was
 // computed for the caller (one per unique collected cell), hits are results
 // served from the memo — simulations that memoization avoided.

@@ -31,6 +31,33 @@ func countingSim(n *atomic.Int64) func(sim.Scenario, sim.Params) (*sim.Result, e
 	}
 }
 
+func TestRepeatAwareMemoization(t *testing.T) {
+	var sims atomic.Int64
+	r := New(4)
+	r.simulate = countingSim(&sims)
+	defer r.Close()
+
+	sc := testScenario(t, "mcf")
+	p := sim.DefaultParams()
+	// Repeat 0 shares the base cell; each further repeat is its own cell, and
+	// requesting a repeat twice memoizes like any other cell.
+	if _, err := r.Run(sc, p); err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range []int{0, 1, 2, 1, 2, 0} {
+		if _, err := r.RunRepeat(sc, p, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sims.Load(); got != 3 {
+		t.Fatalf("3 distinct repeats simulated %d times", got)
+	}
+	hits, misses := r.Stats()
+	if misses != 3 || hits != 4 {
+		t.Fatalf("stats: %d misses, %d hits (want 3, 4)", misses, hits)
+	}
+}
+
 func TestMemoizationSingleflight(t *testing.T) {
 	var sims atomic.Int64
 	r := New(4)

@@ -1,0 +1,49 @@
+package sim
+
+import "repro/internal/stats"
+
+// Aggregate folds the results of independent repeats of one scenario cell
+// into an element-wise sample mean and sample standard deviation. Count
+// metrics are rounded to the nearest integer in the mean; the Fig 9 breakdown
+// is pooled (counts summed) so its fractions remain exact over all repeats.
+// The mean carries the scenario of the first result. Aggregate panics on an
+// empty slice; with a single result the mean is a copy and every std metric
+// is zero.
+func Aggregate(rs []*Result) (mean, std *Result) {
+	if len(rs) == 0 {
+		panic("sim: Aggregate of no results")
+	}
+	mean = &Result{Scenario: rs[0].Scenario}
+	std = &Result{Scenario: rs[0].Scenario}
+	fold := func(get func(*Result) float64, set func(*Result, float64)) {
+		xs := make([]float64, len(rs))
+		for i, r := range rs {
+			xs[i] = get(r)
+		}
+		s := stats.Summarize(xs)
+		set(mean, s.Mean)
+		set(std, s.Std)
+	}
+	u := func(get func(*Result) uint64, set func(*Result, uint64)) {
+		fold(func(r *Result) float64 { return float64(get(r)) },
+			func(r *Result, v float64) { set(r, uint64(v+0.5)) })
+	}
+	u(func(r *Result) uint64 { return r.Accesses }, func(r *Result, v uint64) { r.Accesses = v })
+	u(func(r *Result) uint64 { return r.Walks }, func(r *Result, v uint64) { r.Walks = v })
+	u(func(r *Result) uint64 { return r.WalkCycles }, func(r *Result, v uint64) { r.WalkCycles = v })
+	u(func(r *Result) uint64 { return r.PrefetchIssued }, func(r *Result, v uint64) { r.PrefetchIssued = v })
+	u(func(r *Result) uint64 { return r.PrefetchCovered }, func(r *Result, v uint64) { r.PrefetchCovered = v })
+	u(func(r *Result) uint64 { return r.MSHRDropped }, func(r *Result, v uint64) { r.MSHRDropped = v })
+	u(func(r *Result) uint64 { return r.RangeOverflowed }, func(r *Result, v uint64) { r.RangeOverflowed = v })
+	fold(func(r *Result) float64 { return r.AvgWalkLat }, func(r *Result, v float64) { r.AvgWalkLat = v })
+	fold(func(r *Result) float64 { return r.TLBMissRatio }, func(r *Result, v float64) { r.TLBMissRatio = v })
+	fold(func(r *Result) float64 { return r.MPKI }, func(r *Result, v float64) { r.MPKI = v })
+	fold(func(r *Result) float64 { return r.TotalCycles }, func(r *Result, v float64) { r.TotalCycles = v })
+	fold(func(r *Result) float64 { return r.WalkFraction }, func(r *Result, v float64) { r.WalkFraction = v })
+	fold(func(r *Result) float64 { return r.RangeHitRate }, func(r *Result, v float64) { r.RangeHitRate = v })
+	fold(func(r *Result) float64 { return r.HostRangeHitRate }, func(r *Result, v float64) { r.HostRangeHitRate = v })
+	for _, r := range rs {
+		mean.Breakdown.Merge(&r.Breakdown)
+	}
+	return mean, std
+}

@@ -93,6 +93,29 @@ func setupSorted(areas []*vma.VMA, levels []int, fallback pt.Allocator,
 	return sorted, descs, nil
 }
 
+// overflowDescs returns bare descriptors for the VMAs the OS would register
+// beyond the range-register capacity: its candidate set is every big VMA
+// needed to cover 99% of the footprint (§3.2), installed in size order, so
+// once the register file is full the remainder is dropped — and counted — by
+// core.Engine.Install. The extras carry no prefetch bases and reserve no
+// sorted regions, so page-table placement and acceleration are unchanged;
+// only the drop count becomes observable. installed is the number of
+// descriptors already holding registers; extras are only meaningful when the
+// file is full (otherwise they would occupy free registers the current
+// policy leaves empty).
+func overflowDescs(layout *workload.Layout, installed, regCap int) []*core.Descriptor {
+	want := layout.Space.CoverageCount(0.99)
+	if installed < regCap || want <= regCap {
+		return nil
+	}
+	all := keepBig(layout.Space.Largest(want), layout)
+	var out []*core.Descriptor
+	for _, a := range all[min(installed, len(all)):] {
+		out = append(out, &core.Descriptor{Start: a.Start, End: a.End})
+	}
+	return out
+}
+
 // buildNative assembles a native process for spec.
 func buildNative(spec workload.Spec, sorted, fiveLevel bool, holeProb float64, regCap int) (*nativeAssembly, error) {
 	layout, err := workload.BuildLayout(spec)
@@ -111,6 +134,7 @@ func buildNative(spec workload.Spec, sorted, fiveLevel bool, holeProb float64, r
 			return nil, err
 		}
 		alloc, descs = s, d
+		descs = append(descs, overflowDescs(layout, len(descs), regCap)...)
 	}
 	cfg := pt.Config{Levels: 4, LeafLevel: 1}
 	if fiveLevel {
@@ -176,6 +200,7 @@ func buildVirt(spec workload.Spec, guestSorted, hostSorted, hostHuge bool, holeP
 		}
 		guestAlloc, guestDescs = s, d
 		guestRegions = s.Regions
+		guestDescs = append(guestDescs, overflowDescs(layout, len(guestDescs), regCap)...)
 	}
 	guestFrames := uint64(gASAPBase) + (uint64(1)<<24 - guestReserver.Remaining())
 

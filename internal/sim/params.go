@@ -12,6 +12,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/pwc"
+	"repro/internal/rng"
 	"repro/internal/workload"
 )
 
@@ -71,6 +72,19 @@ func DefaultParams() Params {
 		CoAccessCycles: 18,
 		CPIBase:        0.6,
 	}
+}
+
+// ForRepeat returns the parameter set for the repeat-th independent repeat of
+// a cell: repeat 0 is p itself (so single-repeat runs reproduce historical
+// output exactly), and each further repeat derives a fresh seed by mixing the
+// base seed with the repeat index. Because Params.Seed is part of the
+// runner's memo key, distinct repeats are distinct cells while every consumer
+// of the same (cell, repeat) pair still shares one simulation.
+func (p Params) ForRepeat(repeat int) Params {
+	if repeat > 0 {
+		p.Seed = rng.Mix64(p.Seed ^ uint64(repeat)<<17)
+	}
+	return p
 }
 
 // ASAPConfig selects prefetch levels per translation dimension. Native runs

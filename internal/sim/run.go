@@ -31,11 +31,18 @@ type Result struct {
 	// (native-dimension accesses only).
 	Breakdown stats.Breakdown
 
-	// ASAP internals.
-	PrefetchIssued  uint64
-	PrefetchCovered uint64
-	RangeHitRate    float64
-	MSHRDropped     uint64
+	// ASAP internals. RangeHitRate covers the native engine (or the guest
+	// engine under virtualization); HostRangeHitRate covers the host-dimension
+	// engine, which a virtualized walk consults once per guest-walk step.
+	// RangeOverflowed counts VMA descriptors dropped at install time because
+	// every range register was occupied — it is a property of the setup (all
+	// installs precede warmup), not a measured-window delta.
+	PrefetchIssued   uint64
+	PrefetchCovered  uint64
+	RangeHitRate     float64
+	HostRangeHitRate float64
+	MSHRDropped      uint64
+	RangeOverflowed  uint64
 }
 
 // Run simulates one scenario cell and returns its metrics.
@@ -94,7 +101,7 @@ func runNative(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 	measuring := false
 	for refs = 0; refs < p.MaxRefs; refs++ {
 		if !measuring && walksTotal >= p.WarmupWalks {
-			measure.begin(tl, engine, mshr)
+			measure.begin(tl, engine, nil, mshr)
 			measuring = true
 		}
 		if measuring && int(measure.walks) >= p.MeasureWalks {
@@ -127,7 +134,7 @@ func runNative(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 			measure.access()
 		}
 	}
-	measure.finish(res, tl, engine, mshr)
+	measure.finish(res, tl, engine, nil, mshr)
 	return nil
 }
 
@@ -158,7 +165,7 @@ func runVirt(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 	measuring := false
 	for refs = 0; refs < p.MaxRefs; refs++ {
 		if !measuring && walksTotal >= p.WarmupWalks {
-			measure.begin(tl, w.GuestASAP, mshr)
+			measure.begin(tl, w.GuestASAP, w.HostASAP, mshr)
 			measuring = true
 		}
 		if measuring && int(measure.walks) >= p.MeasureWalks {
@@ -188,7 +195,7 @@ func runVirt(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 			measure.access()
 		}
 	}
-	measure.finish(res, tl, w.GuestASAP, mshr)
+	measure.finish(res, tl, w.GuestASAP, w.HostASAP, mshr)
 	return nil
 }
 
@@ -204,6 +211,8 @@ type meter struct {
 	tlbMisses0   uint64
 	lookups0     uint64
 	rangeHits0   uint64
+	hostLookups0 uint64
+	hostHits0    uint64
 	dropped0     uint64
 }
 
@@ -212,13 +221,20 @@ func newMeter(spec workload.Spec, p Params) *meter {
 }
 
 // begin snapshots cumulative TLB, range-register and MSHR counters at the
-// warmup/measure boundary so finish can report measured-window deltas.
-func (m *meter) begin(tl *tlb.TwoLevel, engine *core.Engine, mshr *cache.MSHRFile) {
+// warmup/measure boundary so finish can report measured-window deltas. Both
+// translation dimensions are snapshotted: engine is the native (or guest)
+// ASAP engine, host the host-dimension engine of a nested walk (nil outside
+// virtualization).
+func (m *meter) begin(tl *tlb.TwoLevel, engine, host *core.Engine, mshr *cache.MSHRFile) {
 	m.tlbAccesses0 = tl.Accesses
 	m.tlbMisses0 = tl.L2Misses
 	if engine != nil {
 		m.lookups0 = engine.Lookups()
 		m.rangeHits0 = engine.RangeHits()
+	}
+	if host != nil {
+		m.hostLookups0 = host.Lookups()
+		m.hostHits0 = host.RangeHits()
 	}
 	m.dropped0 = mshr.Dropped()
 }
@@ -240,7 +256,7 @@ func (m *meter) walk(wr *walker.Result, res *Result) {
 	}
 }
 
-func (m *meter) finish(res *Result, tl *tlb.TwoLevel, engine *core.Engine, mshr *cache.MSHRFile) {
+func (m *meter) finish(res *Result, tl *tlb.TwoLevel, engine, host *core.Engine, mshr *cache.MSHRFile) {
 	res.Accesses = m.accesses
 	res.Walks = m.walks
 	res.WalkCycles = m.walkCycles
@@ -263,6 +279,13 @@ func (m *meter) finish(res *Result, tl *tlb.TwoLevel, engine *core.Engine, mshr 
 		if lookups := engine.Lookups() - m.lookups0; lookups > 0 {
 			res.RangeHitRate = float64(engine.RangeHits()-m.rangeHits0) / float64(lookups)
 		}
+		res.RangeOverflowed += engine.Overflowed()
+	}
+	if host != nil {
+		if lookups := host.Lookups() - m.hostLookups0; lookups > 0 {
+			res.HostRangeHitRate = float64(host.RangeHits()-m.hostHits0) / float64(lookups)
+		}
+		res.RangeOverflowed += host.Overflowed()
 	}
 	res.MSHRDropped = mshr.Dropped() - m.dropped0
 }

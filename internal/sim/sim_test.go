@@ -277,6 +277,98 @@ func TestBuildCacheReuse(t *testing.T) {
 	}
 }
 
+func TestForRepeat(t *testing.T) {
+	p := fastParams()
+	if p.ForRepeat(0) != p {
+		t.Fatal("repeat 0 must be the base parameter set")
+	}
+	seen := map[uint64]bool{p.Seed: true}
+	for i := 1; i < 8; i++ {
+		d := p.ForRepeat(i)
+		base := p
+		base.Seed = d.Seed
+		if d != base {
+			t.Fatalf("repeat %d changed more than the seed", i)
+		}
+		if seen[d.Seed] {
+			t.Fatalf("repeat %d reused a seed", i)
+		}
+		seen[d.Seed] = true
+	}
+}
+
+func TestRepeatsVary(t *testing.T) {
+	// Distinct repeat seeds must actually perturb the measurement — that is
+	// the whole point of multi-repeat statistics.
+	p := fastParams()
+	sc := Scenario{Workload: tinySpec()}
+	a := run(t, sc, p.ForRepeat(0))
+	b := run(t, sc, p.ForRepeat(1))
+	if a.AvgWalkLat == b.AvgWalkLat && a.Walks == b.Walks && a.TLBMissRatio == b.TLBMissRatio {
+		t.Fatal("repeats with derived seeds produced identical metrics")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	a := &Result{Walks: 100, AvgWalkLat: 10, WalkFraction: 0.2, RangeOverflowed: 2}
+	a.Breakdown.Add(1, 0)
+	b := &Result{Walks: 200, AvgWalkLat: 14, WalkFraction: 0.4, RangeOverflowed: 2}
+	b.Breakdown.Add(1, 0)
+	mean, std := Aggregate([]*Result{a, b})
+	if mean.Walks != 150 || mean.AvgWalkLat != 12 || mean.RangeOverflowed != 2 {
+		t.Fatalf("mean: %+v", mean)
+	}
+	if d := mean.WalkFraction - 0.3; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("mean walk fraction %v", mean.WalkFraction)
+	}
+	if mean.Breakdown.Total(1) != 2 {
+		t.Fatalf("breakdown not pooled: %d", mean.Breakdown.Total(1))
+	}
+	// Sample std of {10,14} is sqrt(8) ≈ 2.828; of equal values, 0.
+	if std.AvgWalkLat < 2.82 || std.AvgWalkLat > 2.84 || std.RangeOverflowed != 0 {
+		t.Fatalf("std: %+v", std)
+	}
+	m1, s1 := Aggregate([]*Result{a})
+	if m1.AvgWalkLat != 10 || s1.AvgWalkLat != 0 {
+		t.Fatalf("single-result aggregate: %+v / %+v", m1, s1)
+	}
+}
+
+func TestHostRangeHitRateReported(t *testing.T) {
+	// The host-dimension engine's lookups must surface separately: with host
+	// ASAP enabled a virtualized run consults it throughout the nested walk.
+	p := fastParams()
+	r := run(t, Scenario{Workload: tinySpec(), Virtualized: true,
+		ASAP: ASAPConfig{Guest: core.Config{P1: true, P2: true}, Host: core.Config{P1: true, P2: true}}}, p)
+	if r.HostRangeHitRate <= 0 || r.HostRangeHitRate > 1 {
+		t.Fatalf("host range hit rate %v not measured", r.HostRangeHitRate)
+	}
+	if r.RangeHitRate <= 0 {
+		t.Fatalf("guest range hit rate %v not measured", r.RangeHitRate)
+	}
+	guestOnly := run(t, Scenario{Workload: tinySpec(), Virtualized: true,
+		ASAP: ASAPConfig{Guest: core.Config{P1: true, P2: true}}}, p)
+	if guestOnly.HostRangeHitRate != 0 {
+		t.Fatalf("host hit rate %v without a host engine", guestOnly.HostRangeHitRate)
+	}
+}
+
+func TestRangeOverflowReported(t *testing.T) {
+	// With one register, every descriptor beyond the first is dropped at
+	// install time; the count must reach the result.
+	scarce := fastParams()
+	scarce.RangeRegisters = 1
+	sc := Scenario{Workload: tinySpec(), ASAP: ASAPConfig{Native: core.Config{P1: true}}}
+	b := run(t, sc, scarce)
+	if b.RangeOverflowed == 0 {
+		t.Fatal("dropped descriptors not reported")
+	}
+	ample := run(t, sc, fastParams())
+	if ample.RangeOverflowed != 0 {
+		t.Fatalf("%d descriptors dropped with ample registers", ample.RangeOverflowed)
+	}
+}
+
 func TestTable1Shape(t *testing.T) {
 	// The headline motivation (Table 1): colocation, virtualization, and
 	// both together escalate walk latency monotonically.

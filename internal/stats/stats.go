@@ -6,6 +6,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/cache"
@@ -21,6 +22,16 @@ type Breakdown struct {
 func (b *Breakdown) Add(level int, served cache.ServedBy) {
 	if level >= 1 && level <= 5 {
 		b.counts[level][served]++
+	}
+}
+
+// Merge pools another breakdown's counts into b (used when aggregating
+// independent repeats: pooled counts keep the per-level fractions exact).
+func (b *Breakdown) Merge(o *Breakdown) {
+	for l := range b.counts {
+		for s := range b.counts[l] {
+			b.counts[l][s] += o.counts[l][s]
+		}
 	}
 }
 
@@ -79,6 +90,42 @@ func (m *Mean) N() uint64 { return m.n }
 
 // Sum returns the sample total.
 func (m *Mean) Sum() float64 { return m.sum }
+
+// Summary aggregates independent repeats of one measurement: sample mean,
+// sample standard deviation (n-1 denominator) and the half-width of the 95%
+// confidence interval on the mean (normal approximation, 1.96·σ/√n — repeat
+// counts are too small for the distinction from Student's t to matter for a
+// simulator). Std and CI95 are 0 for fewer than two samples.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	CI95 float64
+}
+
+// Summarize computes the Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(s.N-1))
+	s.CI95 = 1.96 * s.Std / math.Sqrt(float64(s.N))
+	return s
+}
 
 // Table accumulates rows of strings and renders them with aligned columns,
 // which is how cmd/paperrepro prints the paper's tables and figure series.

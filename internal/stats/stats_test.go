@@ -33,6 +33,39 @@ func TestBreakdown(t *testing.T) {
 	}
 }
 
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	if s := Summarize([]float64{7}); s.N != 1 || s.Mean != 7 || s.Std != 0 || s.CI95 != 0 {
+		t.Fatalf("single-sample summary: %+v", s)
+	}
+	s := Summarize([]float64{2, 4, 6, 8})
+	if s.N != 4 || s.Mean != 5 {
+		t.Fatalf("mean: %+v", s)
+	}
+	// Sample variance of {2,4,6,8} is (9+1+1+9)/3 = 20/3.
+	want := 2.581988897471611 // sqrt(20/3)
+	if diff := s.Std - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+	wantCI := 1.96 * want / 2
+	if diff := s.CI95 - wantCI; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("ci95 = %v, want %v", s.CI95, wantCI)
+	}
+}
+
+func TestBreakdownMerge(t *testing.T) {
+	var a, b Breakdown
+	a.Add(1, cache.ServedMem)
+	b.Add(1, cache.ServedMem)
+	b.Add(2, cache.ServedL1)
+	a.Merge(&b)
+	if a.Count(1, cache.ServedMem) != 2 || a.Count(2, cache.ServedL1) != 1 {
+		t.Fatalf("merged counts: %d/%d", a.Count(1, cache.ServedMem), a.Count(2, cache.ServedL1))
+	}
+}
+
 func TestMean(t *testing.T) {
 	var m Mean
 	if m.Value() != 0 {
