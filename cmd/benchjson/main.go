@@ -1,0 +1,182 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// JSON summary — a dependency-free stand-in for `benchstat -format csv`, so
+// the repository's perf evidence can be regenerated in a hermetic
+// environment.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -count 6 . > new.txt
+//	go run ./cmd/benchjson new.txt > BENCH.json
+//	go run ./cmd/benchjson -old old.txt new.txt > BENCH_3.json
+//
+// With -old, every benchmark present in both files gains per-metric
+// old/new ratios and a ns/op speedup (old mean / new mean), and the summary
+// carries the geometric-mean speedup across the compared benchmarks.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one result line, e.g.
+// "BenchmarkFig3WalkLatencyScenarios-8   3   694069741 ns/op   523 allocs/op".
+// The -N GOMAXPROCS suffix is stripped so runs from different machines merge.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// samples collects the observed values of one (benchmark, unit) pair.
+type samples map[string]map[string][]float64
+
+// parseFile accumulates every benchmark line of path into s.
+func parseFile(path string, s samples) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], strings.Fields(m[2])
+		for i := 0; i+1 < len(rest); i += 2 {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := rest[i+1]
+			if s[name] == nil {
+				s[name] = map[string][]float64{}
+			}
+			s[name][unit] = append(s[name][unit], v)
+		}
+	}
+	return sc.Err()
+}
+
+// Stats summarises one metric's samples.
+type Stats struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+func summarize(vals []float64) Stats {
+	st := Stats{N: len(vals), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, v := range vals {
+		st.Mean += v
+		st.Min = math.Min(st.Min, v)
+		st.Max = math.Max(st.Max, v)
+	}
+	st.Mean /= float64(st.N)
+	if st.N > 1 {
+		var ss float64
+		for _, v := range vals {
+			ss += (v - st.Mean) * (v - st.Mean)
+		}
+		st.Stddev = math.Sqrt(ss / float64(st.N-1))
+	}
+	return st
+}
+
+// Metric is one unit's summary, optionally with an old-run comparison.
+type Metric struct {
+	New   Stats   `json:"new"`
+	Old   *Stats  `json:"old,omitempty"`
+	Ratio float64 `json:"ratio_new_over_old,omitempty"`
+}
+
+// Benchmark is one benchmark's report.
+type Benchmark struct {
+	Name    string            `json:"name"`
+	Metrics map[string]Metric `json:"metrics"`
+	// Speedup is old mean ns/op over new mean ns/op; 0 when no old run.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	OldFile    string      `json:"old_file,omitempty"`
+	NewFile    string      `json:"new_file"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// GeomeanSpeedup is the geometric mean of per-benchmark ns/op speedups
+	// across benchmarks present in both runs; 0 when no old run.
+	GeomeanSpeedup float64 `json:"geomean_speedup,omitempty"`
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline `file` of go test -bench output to compare against")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-old old.txt] new.txt")
+		os.Exit(2)
+	}
+	newPath := flag.Arg(0)
+
+	newS, oldS := samples{}, samples{}
+	if err := parseFile(newPath, newS); err != nil {
+		fatal(err)
+	}
+	if *oldPath != "" {
+		if err := parseFile(*oldPath, oldS); err != nil {
+			fatal(err)
+		}
+	}
+
+	rep := Report{OldFile: *oldPath, NewFile: newPath}
+	names := make([]string, 0, len(newS))
+	for name := range newS {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	logSum, logN := 0.0, 0
+	for _, name := range names {
+		b := Benchmark{Name: name, Metrics: map[string]Metric{}}
+		for unit, vals := range newS[name] {
+			m := Metric{New: summarize(vals)}
+			if old, ok := oldS[name][unit]; ok {
+				ost := summarize(old)
+				m.Old = &ost
+				if ost.Mean != 0 {
+					m.Ratio = m.New.Mean / ost.Mean
+				}
+				if unit == "ns/op" && m.New.Mean != 0 {
+					b.Speedup = ost.Mean / m.New.Mean
+				}
+			}
+			b.Metrics[unit] = m
+		}
+		if b.Speedup > 0 {
+			logSum += math.Log(b.Speedup)
+			logN++
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if logN > 0 {
+		rep.GeomeanSpeedup = math.Exp(logSum / float64(logN))
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

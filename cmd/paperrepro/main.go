@@ -24,6 +24,10 @@
 // machine-readable per-cell records — one file per experiment under
 // DIR/<format>/ plus a grouped mean/std/CI95 summary under DIR/analysis/ —
 // in the format selected by -format (csv or json).
+//
+// -cpuprofile FILE and -memprofile FILE write pprof profiles of the whole run
+// (CPU samples while experiments execute; the live heap at exit), so perf
+// changes can be justified with `go tool pprof` evidence.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/exp"
 	"repro/internal/report"
@@ -45,7 +50,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (exit int) {
 	var (
 		name    = flag.String("exp", "all", "experiment to run (see -list)")
 		fast    = flag.Bool("fast", false, "reduced measurement protocol (quicker, noisier)")
@@ -55,6 +60,8 @@ func run() int {
 		repeats = flag.Int("repeats", 1, "independent repeats per scenario cell (seeds derived per repeat)")
 		out     = flag.String("out", "", "directory for machine-readable per-cell artifacts (empty = none)")
 		format  = flag.String("format", "csv", "artifact format: csv or json")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -83,6 +90,40 @@ func run() int {
 			return 2
 		}
 		o.Workloads = []workload.Spec{spec}
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		// The deferred write adjusts the named return, so a run that produced
+		// no heap profile does not exit 0.
+		defer func() {
+			err := func() error {
+				f, err := os.Create(*memProf)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				runtime.GC() // flush dead objects so the profile shows live heap
+				return pprof.WriteHeapProfile(f)
+			}()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperrepro:", err)
+				if exit == 0 {
+					exit = 1
+				}
+			}
+		}()
 	}
 	o.Repeats = *repeats
 	var col *report.Collector

@@ -67,6 +67,48 @@ func TestSetAssocInsertRefreshesAge(t *testing.T) {
 	}
 }
 
+func TestSetAssocLookupInsertEquivalence(t *testing.T) {
+	// LookupInsert must leave the array in exactly the state that the
+	// two-scan Lookup-then-Insert sequence would, for any key stream.
+	combined, split := NewSetAssoc(64, 4), NewSetAssoc(64, 4)
+	s := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 10_000; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		key := s >> 40 // small key space so sets fill and evict
+		hit := combined.LookupInsert(key)
+		if split.Lookup(key) != hit {
+			t.Fatalf("op %d: LookupInsert hit=%v, Lookup disagrees", i, hit)
+		}
+		if !hit {
+			split.Insert(key)
+		}
+		// The two arrays must stay observationally identical: probe a window
+		// of keys around the current one without disturbing LRU state.
+		for d := uint64(0); d < 8; d++ {
+			if combined.Contains(key+d) != split.Contains(key+d) {
+				t.Fatalf("op %d: arrays diverged at key %d", i, key+d)
+			}
+		}
+	}
+}
+
+func TestSetAssocSentinelKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inserting the invalid-tag sentinel did not panic")
+		}
+	}()
+	NewSetAssoc(16, 4).Insert(^uint64(0))
+}
+
+func TestSetAssocSentinelKeyNeverHits(t *testing.T) {
+	// The sentinel marks empty ways; probing it must miss, not match them.
+	s := NewSetAssoc(16, 4)
+	if s.Lookup(^uint64(0)) || s.Contains(^uint64(0)) {
+		t.Fatal("sentinel key hit an empty way")
+	}
+}
+
 func TestSetAssocGeometryPanics(t *testing.T) {
 	for _, g := range [][2]int{{0, 1}, {8, 3}, {12, 2}, {-4, 2}} {
 		g := g

@@ -94,21 +94,19 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 
 // Access performs a demand access to addr: it returns the level that served
 // the line and the access latency, and installs the line in every level.
+//
+// Each level is probed and filled in a single combined scan: a LookupInsert
+// miss at a level both detects the miss and performs the fill that the
+// inclusive hierarchy would do on the way back, so a full miss costs one set
+// scan per level instead of two.
 func (h *Hierarchy) Access(addr mem.PhysAddr) (ServedBy, int) {
 	line := addr.Line()
 	for i, c := range h.levels {
-		if c.Lookup(line) {
-			// Fill the levels above the hit.
-			for j := 0; j < i; j++ {
-				h.levels[j].Insert(line)
-			}
+		if c.LookupInsert(line) {
 			s := ServedL1 + ServedBy(i)
 			h.served[s]++
 			return s, h.lats[i]
 		}
-	}
-	for _, c := range h.levels {
-		c.Insert(line)
 	}
 	h.served[ServedMem]++
 	return ServedMem, h.cfg.MemLatency

@@ -6,17 +6,28 @@ package cache
 
 import "fmt"
 
+// invalidTag marks an empty way. Keys are cache-line numbers, page numbers or
+// VA prefixes, all far below 2^64-1, so the sentinel can never collide with a
+// real key; Insert enforces this.
+const invalidTag = ^uint64(0)
+
+// way is one entry of a set: its tag and its LRU age, packed together so a
+// set probe walks one contiguous run of memory instead of three parallel
+// slices.
+type way struct {
+	tag uint64
+	age uint64
+}
+
 // SetAssoc is a set-associative array of 64-bit keys with true-LRU
 // replacement. It is the building block for caches, TLBs and page-walk
 // caches. Sets are indexed by the low bits of the key (as hardware does), so
 // conflict behaviour is realistic.
 type SetAssoc struct {
 	sets    int
-	ways    int
+	nways   int
 	setMask uint64
-	tags    []uint64
-	valid   []bool
-	age     []uint64
+	ways    []way
 	clock   uint64
 }
 
@@ -30,29 +41,38 @@ func NewSetAssoc(entries, ways int) *SetAssoc {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
 	}
-	return &SetAssoc{
+	s := &SetAssoc{
 		sets:    sets,
-		ways:    ways,
+		nways:   ways,
 		setMask: uint64(sets - 1),
-		tags:    make([]uint64, entries),
-		valid:   make([]bool, entries),
-		age:     make([]uint64, entries),
+		ways:    make([]way, entries),
 	}
+	s.Flush()
+	return s
 }
 
 // Entries returns the total capacity in entries.
-func (s *SetAssoc) Entries() int { return s.sets * s.ways }
+func (s *SetAssoc) Entries() int { return s.sets * s.nways }
 
 // Ways returns the associativity.
-func (s *SetAssoc) Ways() int { return s.ways }
+func (s *SetAssoc) Ways() int { return s.nways }
+
+// set returns the ways of key's set.
+func (s *SetAssoc) set(key uint64) []way {
+	base := int(key&s.setMask) * s.nways
+	return s.ways[base : base+s.nways]
+}
 
 // Lookup reports whether key is present, updating its LRU age on a hit.
 func (s *SetAssoc) Lookup(key uint64) bool {
-	base := int(key&s.setMask) * s.ways
-	for w := 0; w < s.ways; w++ {
-		if s.valid[base+w] && s.tags[base+w] == key {
+	if key == invalidTag {
+		return false // never falsely hit an empty way
+	}
+	set := s.set(key)
+	for i := range set {
+		if set[i].tag == key {
 			s.clock++
-			s.age[base+w] = s.clock
+			set[i].age = s.clock
 			return true
 		}
 	}
@@ -61,43 +81,53 @@ func (s *SetAssoc) Lookup(key uint64) bool {
 
 // Contains reports whether key is present without updating LRU state.
 func (s *SetAssoc) Contains(key uint64) bool {
-	base := int(key&s.setMask) * s.ways
-	for w := 0; w < s.ways; w++ {
-		if s.valid[base+w] && s.tags[base+w] == key {
+	if key == invalidTag {
+		return false // never falsely hit an empty way
+	}
+	set := s.set(key)
+	for i := range set {
+		if set[i].tag == key {
 			return true
 		}
 	}
 	return false
 }
 
-// Insert installs key, evicting the LRU way of its set if needed. Inserting a
-// present key refreshes its age.
-func (s *SetAssoc) Insert(key uint64) {
-	base := int(key&s.setMask) * s.ways
+// LookupInsert probes for key and, on a miss, installs it over the LRU way of
+// its set in the same scan, reporting whether the probe hit. A hit refreshes
+// the key's age. It is exactly equivalent to Lookup followed by Insert on a
+// miss, at half the set scans.
+func (s *SetAssoc) LookupInsert(key uint64) bool {
+	if key == invalidTag {
+		panic("cache: key collides with the invalid-tag sentinel")
+	}
+	set := s.set(key)
 	s.clock++
-	victim := base
-	for w := 0; w < s.ways; w++ {
-		i := base + w
-		if s.valid[i] && s.tags[i] == key {
-			s.age[i] = s.clock
-			return
+	victim := 0
+	for i := range set {
+		if set[i].tag == key {
+			set[i].age = s.clock
+			return true
 		}
-		if !s.valid[i] {
+		if set[i].tag == invalidTag {
 			victim = i
 			break
 		}
-		if s.age[i] < s.age[victim] {
+		if set[i].age < set[victim].age {
 			victim = i
 		}
 	}
-	s.tags[victim] = key
-	s.valid[victim] = true
-	s.age[victim] = s.clock
+	set[victim] = way{tag: key, age: s.clock}
+	return false
 }
+
+// Insert installs key, evicting the LRU way of its set if needed. Inserting a
+// present key refreshes its age.
+func (s *SetAssoc) Insert(key uint64) { s.LookupInsert(key) }
 
 // Flush invalidates every entry.
 func (s *SetAssoc) Flush() {
-	for i := range s.valid {
-		s.valid[i] = false
+	for i := range s.ways {
+		s.ways[i].tag = invalidTag
 	}
 }

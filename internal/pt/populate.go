@@ -21,21 +21,20 @@ func (t *Table) PopulateRange(start, end mem.VirtAddr) {
 		nodeEnd := nodeStart + leafSpan
 		leaf := t.ensureNode(mem.VirtAddr(va), t.cfg.LeafLevel)
 		if va == nodeStart && nodeEnd <= uint64(end) {
-			leaf.full = true
-			leaf.present = nil
+			// full dominates in Walk/Present, so any earlier partial bitmap is
+			// left in place — resetting bits would orphan its arena slot.
+			t.nodes[leaf].full = true
 			va = nodeEnd
 			continue
-		}
-		if leaf.present == nil && !leaf.full {
-			leaf.present = new([8]uint64)
 		}
 		stop := nodeEnd
 		if uint64(end) < stop {
 			stop = uint64(end)
 		}
-		if !leaf.full {
+		if !t.nodes[leaf].full {
+			bits := t.ensureBits(leaf)
 			for p := va; p < stop; p += 1 << pageShift {
-				bitSet(leaf.present, indexAt(mem.VirtAddr(p), t.cfg.LeafLevel))
+				bitSet(bits, indexAt(mem.VirtAddr(p), t.cfg.LeafLevel))
 			}
 		}
 		va = stop
@@ -89,8 +88,13 @@ func (t *Table) PopulateSpread(start mem.VirtAddr, total, resident uint64) {
 		vpn := startVPN + i*total/resident
 		nodeFirst := vpn &^ (mem.NodeSpan - 1)
 		leaf := t.ensureNode(mem.FromVPN(vpn), 1)
-		if leaf.present == nil && !leaf.full {
-			leaf.present = new([8]uint64)
+		full := t.nodes[leaf].full
+		var bits *[8]uint64
+		if !full {
+			// ensureBits may grow the bitmap arena, but nothing below
+			// allocates until the next outer iteration, so the pointer stays
+			// valid for this node's whole bit run.
+			bits = t.ensureBits(leaf)
 		}
 		nodeLimit := nodeFirst + mem.NodeSpan
 		for ; i < resident; i++ {
@@ -98,8 +102,8 @@ func (t *Table) PopulateSpread(start mem.VirtAddr, total, resident uint64) {
 			if v >= nodeLimit {
 				break
 			}
-			if !leaf.full {
-				bitSet(leaf.present, int(v&(mem.NodeSpan-1)))
+			if !full {
+				bitSet(bits, int(v&(mem.NodeSpan-1)))
 			}
 		}
 	}

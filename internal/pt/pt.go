@@ -8,6 +8,12 @@
 // does), while ASAP's modified OS lays the PL1/PL2 node pages of each
 // registered VMA out contiguously and sorted by virtual address, enabling
 // base-plus-offset prefetch (paper §3.3). Both policies implement Allocator.
+//
+// The tree is stored arena-style: all nodes live in one []node slice and
+// refer to each other through int32 indices into dense 512-slot child tables,
+// so a walk step is two slice loads (child table, node) instead of a map
+// probe and a pointer chase, and building a table allocates a handful of
+// growing slices instead of one heap object per node.
 package pt
 
 import (
@@ -55,14 +61,21 @@ type Allocator interface {
 	AllocPTFrame(level int, firstVA mem.VirtAddr) mem.Frame
 }
 
-// node is one page of the radix tree.
+// node is one page of the radix tree, held in the table's node arena.
 type node struct {
-	level    int8
-	full     bool             // leaf node: all 512 entries present
-	frame    mem.Frame        // physical page backing this node
-	children map[uint16]*node // interior nodes only
-	present  *[8]uint64       // leaf node partial presence bitmap
-	huge     *[8]uint64       // level-2 entries that map 2 MB pages directly
+	level int8
+	full  bool      // leaf node: all 512 entries present
+	frame mem.Frame // physical page backing this node
+	// kids is the start of this node's 512-slot child table in Table.kids
+	// (interior nodes), or -1 for leaf nodes. A slot holds the arena index of
+	// the child, with 0 meaning absent (the root is index 0 and is never a
+	// child).
+	kids int32
+	// bits indexes Table.bitmaps, or -1 when unset. For a leaf node it is the
+	// partial presence bitmap; for a level-2 interior node it marks entries
+	// that map 2 MB pages directly. A node is never both, so one field
+	// suffices.
+	bits int32
 }
 
 func bitGet(b *[8]uint64, i int) bool { return b[i>>6]>>(uint(i)&63)&1 == 1 }
@@ -72,7 +85,9 @@ func bitSet(b *[8]uint64, i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
 type Table struct {
 	cfg       Config
 	alloc     Allocator
-	root      *node
+	nodes     []node      // arena; index 0 is the root
+	kids      []int32     // dense child tables, mem.NodeSpan slots per interior node
+	bitmaps   [][8]uint64 // presence / huge bitmaps
 	nodeCount [6]uint64
 	frames    [6][]mem.Frame
 	keepStats bool
@@ -86,54 +101,73 @@ func New(cfg Config, alloc Allocator, keepStats bool) (*Table, error) {
 		return nil, err
 	}
 	t := &Table{cfg: cfg, alloc: alloc, keepStats: keepStats}
-	t.root = t.newNode(cfg.Levels, 0)
+	t.newNode(cfg.Levels, 0)
 	return t, nil
 }
 
 // Config returns the tree geometry.
 func (t *Table) Config() Config { return t.cfg }
 
+// emptyKids is the zeroed child table appended for each new interior node.
+var emptyKids [mem.NodeSpan]int32
+
 // newNode allocates a node page at level covering the span beginning at
-// firstVA.
-func (t *Table) newNode(level int, firstVA mem.VirtAddr) *node {
-	n := &node{level: int8(level), frame: t.alloc.AllocPTFrame(level, firstVA)}
+// firstVA, returning its arena index.
+func (t *Table) newNode(level int, firstVA mem.VirtAddr) int32 {
+	n := node{level: int8(level), frame: t.alloc.AllocPTFrame(level, firstVA), kids: -1, bits: -1}
 	if level > t.cfg.LeafLevel {
-		n.children = make(map[uint16]*node)
+		n.kids = int32(len(t.kids))
+		t.kids = append(t.kids, emptyKids[:]...)
 	}
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, n)
 	t.nodeCount[level]++
 	if t.keepStats {
 		t.frames[level] = append(t.frames[level], n.frame)
 	}
-	return n
+	return idx
 }
 
-// ensureNode returns the node at the given level on va's path, creating
-// missing interior nodes.
-func (t *Table) ensureNode(va mem.VirtAddr, level int) *node {
-	n := t.root
+// ensureBits returns the bitmap of the node at arena index ni, allocating it
+// on first use. The pointer is only valid until the next bitmap allocation.
+func (t *Table) ensureBits(ni int32) *[8]uint64 {
+	if t.nodes[ni].bits < 0 {
+		t.nodes[ni].bits = int32(len(t.bitmaps))
+		t.bitmaps = append(t.bitmaps, [8]uint64{})
+	}
+	return &t.bitmaps[t.nodes[ni].bits]
+}
+
+// ensureNode returns the arena index of the node at the given level on va's
+// path, creating missing interior nodes.
+func (t *Table) ensureNode(va mem.VirtAddr, level int) int32 {
+	ni := int32(0)
 	for l := t.cfg.Levels; l > level; l-- {
-		idx := uint16(indexAt(va, l))
-		child := n.children[idx]
-		if child == nil {
+		if t.nodes[ni].kids < 0 {
+			// A leaf above the requested level: descending would index some
+			// other node's child table. The pointer layout failed fast here
+			// (nil-map write); keep that property.
+			panic("pt: ensureNode descended into a leaf node")
+		}
+		slot := int(t.nodes[ni].kids) + indexAt(va, l)
+		child := t.kids[slot]
+		if child == 0 {
 			span := mem.VirtAddr(uint64(va) &^ (uint64(1)<<SpanShift(l-1) - 1))
 			child = t.newNode(l-1, span)
-			n.children[idx] = child
+			t.kids[slot] = child
 		}
-		n = child
+		ni = child
 	}
-	return n
+	return ni
 }
 
 // EnsurePage marks the page containing va present, creating the node path.
 func (t *Table) EnsurePage(va mem.VirtAddr) {
 	leaf := t.ensureNode(va, t.cfg.LeafLevel)
-	if leaf.full {
+	if t.nodes[leaf].full {
 		return
 	}
-	if leaf.present == nil {
-		leaf.present = new([8]uint64)
-	}
-	bitSet(leaf.present, indexAt(va, t.cfg.LeafLevel))
+	bitSet(t.ensureBits(leaf), indexAt(va, t.cfg.LeafLevel))
 }
 
 // EnsureHuge maps the 2 MB page containing va with a level-2 large-page
@@ -142,11 +176,8 @@ func (t *Table) EnsureHuge(va mem.VirtAddr) {
 	if t.cfg.LeafLevel != 1 {
 		panic("pt: EnsureHuge on a table whose leaf level is already 2")
 	}
-	n := t.ensureNode(va, 2)
-	if n.huge == nil {
-		n.huge = new([8]uint64)
-	}
-	bitSet(n.huge, indexAt(va, 2))
+	ni := t.ensureNode(va, 2)
+	bitSet(t.ensureBits(ni), indexAt(va, 2))
 }
 
 // Present reports whether va is mapped (by a base page or a large page).
@@ -177,44 +208,49 @@ type WalkResult struct {
 // (paper §3.7.1: walks that fault still perform their accesses).
 func (t *Table) Walk(va mem.VirtAddr) WalkResult {
 	var r WalkResult
-	n := t.root
+	nodes := t.nodes
+	kids := t.kids
+	n := &nodes[0]
 	for l := t.cfg.Levels; ; l-- {
 		idx := indexAt(va, l)
 		r.Entries[r.N] = EntryRef{Level: l, EntryAddr: n.frame.Addr() + mem.PhysAddr(idx*mem.PTEBytes)}
 		r.N++
 		r.TermLevel = l
 		if l == t.cfg.LeafLevel {
-			r.Present = n.full || (n.present != nil && bitGet(n.present, idx))
+			r.Present = n.full || (n.bits >= 0 && bitGet(&t.bitmaps[n.bits], idx))
 			r.Huge = t.cfg.LeafLevel == 2
 			return r
 		}
-		if l == 2 && n.huge != nil && bitGet(n.huge, idx) {
+		if l == 2 && n.bits >= 0 && bitGet(&t.bitmaps[n.bits], idx) {
 			r.Present = true
 			r.Huge = true
 			return r
 		}
-		child := n.children[uint16(idx)]
-		if child == nil {
+		child := kids[int(n.kids)+idx]
+		if child == 0 {
 			return r // fault: entry read, found not present
 		}
-		n = child
+		n = &nodes[child]
 	}
 }
 
 // EntryAddr returns the physical address of the entry at the given level on
 // va's existing path, or false if the path does not reach that level.
 func (t *Table) EntryAddr(va mem.VirtAddr, level int) (mem.PhysAddr, bool) {
-	n := t.root
+	n := &t.nodes[0]
 	for l := t.cfg.Levels; l >= level; l-- {
 		idx := indexAt(va, l)
 		if l == level {
 			return n.frame.Addr() + mem.PhysAddr(idx*mem.PTEBytes), true
 		}
-		child := n.children[uint16(idx)]
-		if child == nil {
+		if n.kids < 0 {
+			return 0, false // leaf reached above the requested level
+		}
+		child := t.kids[int(n.kids)+idx]
+		if child == 0 {
 			return 0, false
 		}
-		n = child
+		n = &t.nodes[child]
 	}
 	return 0, false
 }

@@ -87,12 +87,14 @@ func (p *PWC) Lookup(va mem.VirtAddr, rootLevel int) int {
 }
 
 // Insert caches the PL(level) entry on va's path; levels outside {2,3,4} are
-// ignored. The walker calls this for every interior entry it reads.
+// ignored. The walker calls this for every interior entry it reads; a
+// combined probe refreshes an already-cached entry or installs it in one set
+// scan.
 func (p *PWC) Insert(va mem.VirtAddr, level int) {
 	if level < 2 || level > 4 {
 		return
 	}
-	p.byLevel[level-2].Insert(tag(va, level))
+	p.byLevel[level-2].LookupInsert(tag(va, level))
 }
 
 // Flush invalidates all three structures.

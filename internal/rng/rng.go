@@ -7,7 +7,10 @@
 // every experiment in the repository exactly reproducible.
 package rng
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Mix64 applies the splitmix64 finalizer to x. It is a fast, high-quality
 // stateless 64-bit mixing function, used wherever a deterministic
@@ -147,15 +150,36 @@ type Zipfian struct {
 	alpha  float64
 	zetan  float64
 	eta    float64
+	half   float64 // 1 + 0.5^theta, the rank-1 threshold, hoisted out of Next
 	stream *Stream
 }
 
 // zetaExactLimit is the largest n for which zeta is summed exactly.
 const zetaExactLimit = 1 << 20
 
+// zeta sums are pure in (n, theta) but cost up to 2^20 math.Pow calls, and
+// every zipfian scenario cell constructs a fresh generator, so the results
+// are memoized process-wide. The cache stays tiny: experiments use a handful
+// of (page count, theta) pairs.
+var (
+	zetaMu    sync.Mutex
+	zetaCache = map[zetaKey]float64{}
+)
+
+type zetaKey struct {
+	n     uint64
+	theta float64
+}
+
 // zeta returns an (approximate for large n) value of the generalized harmonic
 // number sum_{i=1..n} 1/i^theta.
 func zeta(n uint64, theta float64) float64 {
+	zetaMu.Lock()
+	v, ok := zetaCache[zetaKey{n, theta}]
+	zetaMu.Unlock()
+	if ok {
+		return v
+	}
 	limit := n
 	if limit > zetaExactLimit {
 		limit = zetaExactLimit
@@ -168,6 +192,9 @@ func zeta(n uint64, theta float64) float64 {
 		// Integral tail: ∫ limit..n x^-theta dx.
 		sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(limit), 1-theta)) / (1 - theta)
 	}
+	zetaMu.Lock()
+	zetaCache[zetaKey{n, theta}] = sum
+	zetaMu.Unlock()
 	return sum
 }
 
@@ -187,6 +214,7 @@ func NewZipfian(n uint64, theta float64, stream *Stream) *Zipfian {
 		alpha:  1 / (1 - theta),
 		zetan:  zetan,
 		eta:    (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/zetan),
+		half:   1 + math.Pow(0.5, theta),
 		stream: stream,
 	}
 	return z
@@ -200,7 +228,7 @@ func (z *Zipfian) Next() uint64 {
 	if uz < 1 {
 		return 0
 	}
-	if uz < 1+math.Pow(0.5, z.theta) {
+	if uz < z.half {
 		return 1
 	}
 	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))

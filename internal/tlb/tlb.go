@@ -54,8 +54,10 @@ func (t *TLB) Lookup(pageNum uint64, class PageClass) bool {
 }
 
 // Insert implements Unit; a conventional TLB ignores the neighbour probe.
+// The combined probe refreshes a resident entry or installs over the LRU way
+// in a single set scan.
 func (t *TLB) Insert(pageNum uint64, class PageClass, pfn uint64, neighbors NeighborFunc) {
-	t.arr.Insert(key(pageNum, class))
+	t.arr.LookupInsert(key(pageNum, class))
 }
 
 // Flush implements Unit.
@@ -85,23 +87,6 @@ func NewTwoLevel(clusteredL2 bool) *TwoLevel {
 	return &TwoLevel{L1: New(64, 8), L2: l2}
 }
 
-// Lookup probes both levels for the page of va under the given class,
-// refilling L1 from L2 on an L2 hit. It returns false when both levels miss
-// (a page walk is required).
-func (t *TwoLevel) Lookup(pageNum uint64, class PageClass, pfn uint64, neighbors NeighborFunc) bool {
-	t.Accesses++
-	if t.L1.Lookup(pageNum, class) {
-		return true
-	}
-	t.L1Misses++
-	if t.L2.Lookup(pageNum, class) {
-		t.L1.Insert(pageNum, class, pfn, neighbors)
-		return true
-	}
-	t.L2Misses++
-	return false
-}
-
 // Insert fills both levels after a successful walk.
 func (t *TwoLevel) Insert(pageNum uint64, class PageClass, pfn uint64, neighbors NeighborFunc) {
 	t.L1.Insert(pageNum, class, pfn, neighbors)
@@ -109,8 +94,12 @@ func (t *TwoLevel) Insert(pageNum uint64, class PageClass, pfn uint64, neighbors
 }
 
 // LookupVA probes both page-size classes for va, counting a single TLB
-// access. As in real hardware, the page size of a translation is unknown
-// before the lookup, so every structure is checked (paper §2.5).
+// access and refilling L1 from L2 on an L2 hit. It returns false when both
+// levels miss under both classes (a page walk is required). As in real
+// hardware, the page size of a translation is unknown before the lookup, so
+// every structure is checked (paper §2.5). This is the only lookup path:
+// keeping a separate single-class probe alongside it would double-count
+// accesses and misses if the two were ever mixed.
 func (t *TwoLevel) LookupVA(va mem.VirtAddr, pfn uint64, neighbors NeighborFunc) bool {
 	t.Accesses++
 	k4, k2 := PageNumber(va, Page4K), PageNumber(va, Page2M)

@@ -29,7 +29,7 @@ func TestTLBBasic(t *testing.T) {
 func TestTwoLevelRefill(t *testing.T) {
 	tl := NewTwoLevel(false)
 	tl.Insert(7, Page4K, 1, nil)
-	if !tl.Lookup(7, Page4K, 1, nil) {
+	if !tl.LookupVA(mem.FromVPN(7), 1, nil) {
 		t.Fatal("miss after insert")
 	}
 	// Evict from L1 by filling 8 other entries in its set (64-entry 8-way =
@@ -37,7 +37,7 @@ func TestTwoLevelRefill(t *testing.T) {
 	for i := uint64(1); i <= 8; i++ {
 		tl.Insert(7+i*8, Page4K, 1, nil)
 	}
-	if !tl.Lookup(7, Page4K, 1, nil) {
+	if !tl.LookupVA(mem.FromVPN(7), 1, nil) {
 		t.Fatal("entry lost from L2 as well")
 	}
 	if tl.L1Misses == 0 {
@@ -51,7 +51,7 @@ func TestTwoLevelRefill(t *testing.T) {
 func TestTwoLevelMissCounting(t *testing.T) {
 	tl := NewTwoLevel(false)
 	for i := uint64(0); i < 100; i++ {
-		tl.Lookup(i, Page4K, 0, nil)
+		tl.LookupVA(mem.FromVPN(i), 0, nil)
 	}
 	if tl.Accesses != 100 || tl.L2Misses != 100 {
 		t.Fatalf("accesses=%d l2misses=%d", tl.Accesses, tl.L2Misses)
@@ -62,6 +62,20 @@ func TestTwoLevelMissCounting(t *testing.T) {
 	empty := NewTwoLevel(false)
 	if empty.MissRatio() != 0 {
 		t.Fatal("MissRatio of unused TLB not 0")
+	}
+}
+
+func TestTwoLevelHugeRefill(t *testing.T) {
+	// A 2 MB entry inserted after a walk must hit through LookupVA for any
+	// address inside the large page.
+	tl := NewTwoLevel(false)
+	va := mem.VirtAddr(5 * mem.HugeSize)
+	tl.InsertVA(va, true, 9, nil)
+	if !tl.LookupVA(va+mem.VirtAddr(123*mem.PageSize), 9, nil) {
+		t.Fatal("2M entry missed inside its page")
+	}
+	if tl.LookupVA(va+mem.VirtAddr(mem.HugeSize), 9, nil) {
+		t.Fatal("2M entry hit outside its page")
 	}
 }
 
