@@ -6,6 +6,7 @@
 //
 //	asapsim -workload mc80 -asap p1+p2 -colocate
 //	asapsim -workload redis -virt -guest p1+p2 -host p1+p2
+//	asapsim -workload mcf -procs 4 -mix mcf,canneal -flushswitch
 package main
 
 import (
@@ -38,12 +39,20 @@ func main() {
 		warmup    = flag.Int("warmup", 0, "warmup page walks (0 = default)")
 		seed      = flag.Uint64("seed", 0, "random seed (0 = default)")
 		breakdown = flag.Bool("breakdown", false, "print the Fig 9 per-level breakdown")
+		procs     = flag.Int("procs", 1, "co-scheduled processes time-sharing the core (native only)")
+		mix       = flag.String("mix", "", "comma-separated co-scheduled workloads (with -procs; empty = replicate -workload)")
+		quantum   = flag.Int("quantum", 0, "mean scheduler quantum in references (0 = default)")
+		flushSw   = flag.Bool("flushswitch", false, "flush TLBs/PWCs on context switch instead of ASID-tagged retention")
 	)
 	flag.Parse()
 
 	spec, ok := workload.ByName(*name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown workload %q; have %s\n", *name, strings.Join(workload.Names(), ", "))
+		os.Exit(2)
+	}
+	if *procs <= 1 && (*mix != "" || *flushSw || *quantum > 0) {
+		fmt.Fprintln(os.Stderr, "-mix, -flushswitch and -quantum require -procs > 1")
 		os.Exit(2)
 	}
 	p := sim.DefaultParams()
@@ -58,12 +67,18 @@ func main() {
 	if *seed != 0 {
 		p.Seed = *seed
 	}
+	p.Processes = *procs
+	p.FlushOnSwitch = *flushSw
+	if *quantum > 0 {
+		p.QuantumRefs = *quantum
+	}
 	sc := sim.Scenario{
 		Workload:      spec,
 		Virtualized:   *virtual,
 		Colocated:     *colocate,
 		HostHugePages: *hugeHost,
 		ClusteredTLB:  *clustered,
+		Mix:           *mix,
 		ASAP: sim.ASAPConfig{
 			Native: parseASAP(*asapFlag),
 			Guest:  parseASAP(*guestFlag),
@@ -87,6 +102,13 @@ func main() {
 	fmt.Printf("avg walk latency    %.1f cycles\n", res.AvgWalkLat)
 	fmt.Printf("walk cycle share    %.1f%% of execution (model)\n", 100*res.WalkFraction)
 	fmt.Printf("TLB MPKI            %.2f\n", res.MPKI)
+	if p.Processes > 1 {
+		policy := "ASID-tagged retention"
+		if p.FlushOnSwitch {
+			policy = "flush on switch"
+		}
+		fmt.Printf("context switches    %d (%s, %d TLB flushes)\n", res.Switches, policy, res.ShootdownFlushes)
+	}
 	if sc.ASAP.Enabled() {
 		fmt.Printf("prefetches          %d issued, %d accesses covered\n", res.PrefetchIssued, res.PrefetchCovered)
 		fmt.Printf("range-register hits %.1f%%\n", 100*res.RangeHitRate)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,7 +15,12 @@ import (
 )
 
 func main() {
+	fast := flag.Bool("fast", false, "reduced measurement protocol (CI smoke)")
+	flag.Parse()
 	params := sim.DefaultParams()
+	if *fast {
+		params.WarmupWalks, params.MeasureWalks = 3000, 2000
+	}
 	asap := sim.ASAPConfig{Native: core.Config{P1: true, P2: true}}
 
 	fmt.Printf("%-10s %12s %12s %12s %12s %14s\n",

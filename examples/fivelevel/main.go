@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,13 +15,18 @@ import (
 )
 
 func main() {
+	fast := flag.Bool("fast", false, "reduced measurement protocol (CI smoke)")
+	flag.Parse()
 	spec, ok := workload.ByName("mc400")
 	if !ok {
 		log.Fatal("workload mc400 not defined")
 	}
 
 	four := sim.DefaultParams()
-	five := sim.DefaultParams()
+	if *fast {
+		four.WarmupWalks, four.MeasureWalks = 3000, 2000
+	}
+	five := four
 	five.FiveLevel = true
 
 	rows := []struct {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,11 +15,16 @@ import (
 )
 
 func main() {
+	fast := flag.Bool("fast", false, "reduced measurement protocol (CI smoke)")
+	flag.Parse()
 	spec, ok := workload.ByName("mc80")
 	if !ok {
 		log.Fatal("workload mc80 not defined")
 	}
 	params := sim.DefaultParams()
+	if *fast {
+		params.WarmupWalks, params.MeasureWalks = 3000, 2000
+	}
 	asap := sim.ASAPConfig{Guest: core.Config{P1: true, P2: true}, Host: core.Config{P2: true}}
 
 	cells := []struct {

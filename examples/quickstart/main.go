@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,11 +14,16 @@ import (
 )
 
 func main() {
+	fast := flag.Bool("fast", false, "reduced measurement protocol (CI smoke)")
+	flag.Parse()
 	spec, ok := workload.ByName("mc80")
 	if !ok {
 		log.Fatal("workload mc80 not defined")
 	}
 	params := sim.DefaultParams()
+	if *fast {
+		params.WarmupWalks, params.MeasureWalks = 3000, 2000
+	}
 
 	fmt.Printf("workload: %s — %s\n\n", spec.Name, spec.Description)
 	fmt.Printf("%-10s %16s %14s\n", "config", "avg walk (cyc)", "vs baseline")

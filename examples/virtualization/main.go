@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,11 +15,16 @@ import (
 )
 
 func main() {
+	fast := flag.Bool("fast", false, "reduced measurement protocol (CI smoke)")
+	flag.Parse()
 	spec, ok := workload.ByName("pagerank")
 	if !ok {
 		log.Fatal("workload pagerank not defined")
 	}
 	params := sim.DefaultParams()
+	if *fast {
+		params.WarmupWalks, params.MeasureWalks = 3000, 2000
+	}
 
 	native, err := sim.Run(sim.Scenario{Workload: spec}, params)
 	if err != nil {

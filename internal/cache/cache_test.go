@@ -257,3 +257,44 @@ func TestMSHRPanicsOnZero(t *testing.T) {
 	}()
 	NewMSHRFile(0)
 }
+
+func TestFlushMask(t *testing.T) {
+	s := NewSetAssoc(8, 4)
+	const hi = uint64(1) << 40
+	s.Insert(0)      // set 0
+	s.Insert(hi | 8) // set 0, tagged
+	s.Insert(hi | 1) // set 1, tagged
+	if n := s.FlushMask(^uint64(1<<40-1), hi); n != 2 {
+		t.Fatalf("FlushMask invalidated %d entries, want 2", n)
+	}
+	if !s.Contains(0) {
+		t.Fatal("untagged entry lost to the masked flush")
+	}
+	if s.Contains(hi|8) || s.Contains(hi|1) {
+		t.Fatal("tagged entry survived the masked flush")
+	}
+	// Empty ways never match, even though the sentinel has all mask bits set.
+	if n := s.FlushMask(^uint64(0), invalidTag); n != 0 {
+		t.Fatalf("masked flush matched %d empty ways", n)
+	}
+}
+
+func TestLookupInsertAfterMidSetHole(t *testing.T) {
+	// FlushMask can invalidate ways mid-set. LookupInsert must keep scanning
+	// past the hole: a resident key beyond it is a hit, not a duplicate
+	// install (which would halve the set's effective associativity).
+	s := NewSetAssoc(4, 4) // one set
+	const hi = uint64(1) << 40
+	s.Insert(hi | 4) // way 0: tagged
+	s.Insert(8)      // way 1: untagged
+	if n := s.FlushMask(^uint64(1<<40-1), hi); n != 1 {
+		t.Fatalf("FlushMask invalidated %d, want 1", n)
+	}
+	if !s.LookupInsert(8) {
+		t.Fatal("resident key beyond the hole reported as a miss")
+	}
+	// Still exactly one copy: invalidate it and count.
+	if n := s.FlushMask(^uint64(0)>>1, 8); n != 1 {
+		t.Fatalf("key resident %d times after hole probe, want 1", n)
+	}
+}

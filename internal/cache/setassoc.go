@@ -93,27 +93,34 @@ func (s *SetAssoc) Contains(key uint64) bool {
 	return false
 }
 
-// LookupInsert probes for key and, on a miss, installs it over the LRU way of
-// its set in the same scan, reporting whether the probe hit. A hit refreshes
-// the key's age. It is exactly equivalent to Lookup followed by Insert on a
-// miss, at half the set scans.
+// LookupInsert probes for key and, on a miss, installs it over the first
+// invalid way of its set (else the LRU way) in the same scan, reporting
+// whether the probe hit. A hit refreshes the key's age. It is exactly
+// equivalent to Lookup followed by Insert on a miss, at half the set scans.
+// The scan must cover the whole set even after seeing an invalid way:
+// FlushMask can invalidate ways mid-set, so the key (or a better victim
+// ordering) may sit beyond a hole. Without holes, invalid ways form a suffix
+// (fills take the lowest invalid index first), so full-scan-first-invalid
+// picks the same victim the historical break-at-first-invalid did.
 func (s *SetAssoc) LookupInsert(key uint64) bool {
 	if key == invalidTag {
 		panic("cache: key collides with the invalid-tag sentinel")
 	}
 	set := s.set(key)
 	s.clock++
-	victim := 0
+	victim := -1
 	for i := range set {
 		if set[i].tag == key {
 			set[i].age = s.clock
 			return true
 		}
 		if set[i].tag == invalidTag {
-			victim = i
-			break
+			if victim < 0 || set[victim].tag != invalidTag {
+				victim = i
+			}
+			continue
 		}
-		if set[i].age < set[victim].age {
+		if victim < 0 || (set[victim].tag != invalidTag && set[i].age < set[victim].age) {
 			victim = i
 		}
 	}
@@ -130,4 +137,21 @@ func (s *SetAssoc) Flush() {
 	for i := range s.ways {
 		s.ways[i].tag = invalidTag
 	}
+}
+
+// FlushMask invalidates every entry whose tag matches match under mask
+// (tag&mask == match), returning how many entries were invalidated. It is the
+// selective-invalidate primitive behind ASID shootdowns: callers that pack an
+// address-space identifier into the high tag bits can evict one address
+// space's entries without disturbing the rest. Empty ways never match — the
+// invalid-tag sentinel is all ones, which a real key can't be.
+func (s *SetAssoc) FlushMask(mask, match uint64) uint64 {
+	var n uint64
+	for i := range s.ways {
+		if s.ways[i].tag != invalidTag && s.ways[i].tag&mask == match {
+			s.ways[i].tag = invalidTag
+			n++
+		}
+	}
+	return n
 }

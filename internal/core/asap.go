@@ -142,6 +142,27 @@ func (e *Engine) Install(d *Descriptor) bool {
 	return true
 }
 
+// Swap replaces the register-file contents with the descriptor file of an
+// incoming process — the per-context-switch OS work the paper's cost argument
+// is about (§3.3: the VMA descriptors are per-thread architectural state the
+// OS saves and restores like any other register). The outgoing contents are
+// discarded (each process's canonical descriptor file lives with its address
+// space, so there is nothing to write back), the incoming descriptors install
+// under the usual capacity limit — descriptors beyond the register count are
+// dropped and counted, every switch, exactly as a real capacity-limited
+// restore would drop them — and the cumulative lookup/hit/overflow counters
+// carry across the swap so windowed metering spans all processes. The return
+// value is the number of registers moved (saved + restored), the volume that
+// scales the modeled switch cost.
+func (e *Engine) Swap(descs []*Descriptor) int {
+	saved := len(e.regs)
+	e.regs = e.regs[:0]
+	for _, d := range descs {
+		e.Install(d)
+	}
+	return saved + len(e.regs)
+}
+
 // Lookup matches va against the range registers (the check that runs in
 // parallel with page-walker activation on every TLB miss).
 func (e *Engine) Lookup(va mem.VirtAddr) *Descriptor {

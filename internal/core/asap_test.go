@@ -225,3 +225,35 @@ func TestSetupVMAErrors(t *testing.T) {
 		t.Fatal("exhausted reserver accepted")
 	}
 }
+
+func TestEngineSwap(t *testing.T) {
+	e := NewEngine(2, Config{P1: true})
+	a := &Descriptor{Start: 0, End: 0x1000}
+	b := &Descriptor{Start: 0x2000, End: 0x3000}
+	c := &Descriptor{Start: 0x4000, End: 0x5000}
+	if moved := e.Swap([]*Descriptor{a, b, c}); moved != 2 {
+		t.Fatalf("restore into empty file moved %d registers, want 2", moved)
+	}
+	if e.Overflowed() != 1 {
+		t.Fatalf("capacity drop not counted: %d", e.Overflowed())
+	}
+	if e.Lookup(0x2800) != b {
+		t.Fatal("restored descriptor not resident")
+	}
+	// Swapping in a one-descriptor file saves 2 and restores 1.
+	if moved := e.Swap([]*Descriptor{c}); moved != 3 {
+		t.Fatalf("swap moved %d registers, want 3", moved)
+	}
+	if e.Lookup(0x2800) != nil {
+		t.Fatal("outgoing descriptor survived the swap")
+	}
+	if e.Lookup(0x4800) != c {
+		t.Fatal("incoming descriptor missing after swap")
+	}
+	// Overflow keeps accumulating across swaps: the same file re-restored
+	// re-drops its excess.
+	e.Swap([]*Descriptor{a, b, c})
+	if e.Overflowed() != 2 {
+		t.Fatalf("cumulative overflow = %d, want 2", e.Overflowed())
+	}
+}

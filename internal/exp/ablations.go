@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -137,6 +138,96 @@ func AblationFiveLevel(o Options) error {
 	return nil
 }
 
+// AblationMultiproc explores the multi-process scheduling dimension the paper
+// argues about in §3.3 but never simulates: 1/2/4/8 processes time-sharing
+// the core, under the untagged flush-on-switch OS policy vs. ASID-tagged
+// retention, with and without ASAP (whose per-process descriptor files add
+// save/restore cost to every switch and whose capacity drops recur per
+// switch-in). The mix cycles over the experiment's workload roster, primary
+// first, so the cells scale with -workload restrictions and test harnesses.
+func AblationMultiproc(o Options) error {
+	if len(o.Workloads) == 0 {
+		return fmt.Errorf("exp: ablation-multiproc needs at least one workload")
+	}
+	primary := o.Workloads[0]
+	names := make([]string, len(o.Workloads))
+	for i, w := range o.Workloads {
+		names[i] = w.Name
+	}
+	mix := strings.Join(names, ",")
+	procCounts := []int{1, 2, 4, 8}
+
+	// cell normalizes single-process rows: with no scheduler there is no
+	// policy and no mix, so every n=1 configuration shares the plain
+	// single-process cell (and its memoized simulation).
+	cell := func(n int, flush bool, cfg sim.ASAPConfig) (sim.Scenario, Options) {
+		p := o
+		p.Params.Processes = n
+		p.Params.FlushOnSwitch = flush
+		sc := sim.Scenario{Workload: primary, ASAP: cfg, Mix: mix}
+		if n == 1 {
+			p.Params.FlushOnSwitch = false
+			sc.Mix = ""
+		}
+		return sc, p
+	}
+	policies := func(n int) []bool {
+		if n == 1 {
+			return []bool{false}
+		}
+		return []bool{true, false}
+	}
+	for _, n := range procCounts {
+		for _, flush := range policies(n) {
+			for _, cfg := range []sim.ASAPConfig{{}, cfgP1P2} {
+				sc, p := cell(n, flush, cfg)
+				p.prefetch(sc)
+			}
+		}
+	}
+	// The policy comparison metric is the walk-stall rate: page-walk cycles
+	// suffered per kilo-instruction (MPKI × average walk latency). Per-walk
+	// averages hide the flush policy's damage — the refill walks it adds are
+	// recently-walked pages whose PT lines are still cached, so they are
+	// cheaper than the average walk and *lower* it while the program stalls
+	// longer overall. The stall rate charges every added walk to the policy
+	// that caused it.
+	stall := func(r *cellResult) float64 { return r.MPKI * r.AvgWalkLat }
+	tb := stats.NewTable("processes", "switch policy", "walk stall (cyc/kI)", "with ASAP P1+P2",
+		"ASAP red.", "avg walk lat", "MPKI", "switches", "TLB flushes", "dropped descs")
+	for _, n := range procCounts {
+		for _, flush := range policies(n) {
+			scBase, pBase := cell(n, flush, sim.ASAPConfig{})
+			base, err := pBase.run(scBase)
+			if err != nil {
+				return err
+			}
+			scASAP, pASAP := cell(n, flush, cfgP1P2)
+			asap, err := pASAP.run(scASAP)
+			if err != nil {
+				return err
+			}
+			policy := "—"
+			if n > 1 {
+				if flush {
+					policy = "flush"
+				} else {
+					policy = "ASID"
+				}
+			}
+			tb.AddRow(fmt.Sprintf("%d", n), policy,
+				stats.F1(stall(base)), stats.F1(stall(asap)),
+				stats.Pct(1-stall(asap)/stall(base)),
+				base.lat(), stats.F1(base.MPKI),
+				fmt.Sprintf("%d", base.Switches),
+				fmt.Sprintf("%d", base.ShootdownFlushes),
+				fmt.Sprintf("%d", asap.RangeOverflowed))
+		}
+	}
+	o.printf("Ablation (§3.3): multi-process scheduling, %s-led mix, flush vs ASID-tagged TLBs\n\n%s\n", primary.Name, tb)
+	return nil
+}
+
 // Experiments maps experiment names to their implementations; "all" runs the
 // full paper reproduction in order.
 func Experiments() []struct {
@@ -164,6 +255,7 @@ func Experiments() []struct {
 		{"ablation-holes", func(o Options) error { return AblationHoles(o, "mc80") }},
 		{"ablation-regs", func(o Options) error { return AblationRangeRegisters(o, "mc80") }},
 		{"ablation-5level", AblationFiveLevel},
+		{"ablation-multiproc", AblationMultiproc},
 	}
 }
 

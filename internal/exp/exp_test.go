@@ -44,6 +44,7 @@ func TestExperimentsRenderTables(t *testing.T) {
 		{"table7", []string{"Table 7", "reduction"}},
 		{"ablation-pwc", []string{"doubling page-walk cache"}},
 		{"ablation-5level", []string{"five-level", "5-level ASAP"}},
+		{"ablation-multiproc", []string{"multi-process scheduling", "flush", "ASID", "walk stall"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

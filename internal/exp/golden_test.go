@@ -61,6 +61,54 @@ func TestGoldenFig3(t *testing.T) {
 	golden(t, "fig3_csv.golden", csv)
 }
 
+// TestGoldenMultiproc locks the multi-process ablation end to end and
+// enforces the headline result: at every process count ≥ 2, ASID-tagged TLBs
+// beat flush-on-switch on the walk-stall metric (walk cycles per
+// kilo-instruction — walks per kI × average walk latency).
+func TestGoldenMultiproc(t *testing.T) {
+	sim.ResetBuildCache()
+	var buf bytes.Buffer
+	o := testOptions(&buf)
+	col := report.NewCollector()
+	o.Sink = col
+	if err := Run("ablation-multiproc", o); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "multiproc.golden", buf.Bytes())
+
+	// Verify the flush-vs-ASID ordering from the emitted records rather than
+	// the rendered text: group baseline (non-ASAP) cells by process count.
+	stallIdx := func(name string) int {
+		for i, m := range report.MetricCols {
+			if m == name {
+				return i
+			}
+		}
+		t.Fatalf("metric %q missing", name)
+		return -1
+	}
+	mpki, lat := stallIdx("mpki"), stallIdx("avg_walk_lat")
+	stall := map[int]map[bool]float64{} // processes → flushOnSwitch → cyc/kI
+	for _, r := range col.Records() {
+		if r.ASAP != "baseline" || r.Processes < 2 {
+			continue
+		}
+		if stall[r.Processes] == nil {
+			stall[r.Processes] = map[bool]float64{}
+		}
+		stall[r.Processes][r.FlushOnSwitch] = r.Metrics[mpki] * r.Metrics[lat]
+	}
+	if len(stall) < 3 {
+		t.Fatalf("expected ≥3 multi-process counts, got %v", stall)
+	}
+	for n, byPolicy := range stall {
+		if byPolicy[false] >= byPolicy[true] {
+			t.Fatalf("%d processes: ASID walk stall %.1f not below flush %.1f",
+				n, byPolicy[false], byPolicy[true])
+		}
+	}
+}
+
 // TestGoldenJSONSchema locks the JSON record schema: every key column and
 // every metric column present, nothing unexpected.
 func TestGoldenJSONSchema(t *testing.T) {

@@ -43,12 +43,17 @@ func (c Config) Scale(f int) Config {
 
 // PWC is a split page-walk cache. An entry in the level-L structure caches
 // the PL(L) page-table entry for a VA prefix, letting the walker resume at
-// level L-1.
+// level L-1. Like the TLBs, entries are tagged with the current
+// address-space identifier (SetASID): PWC entries are virtually indexed, so
+// without a tag two processes mapping the same VA range would falsely share
+// partial walks. ASID 0 — the only value single-process runs use — keeps tags
+// identical to the untagged encoding.
 type PWC struct {
 	cfg     Config
 	byLevel [3]*cache.SetAssoc // index 0 → caches PL2 entries, 1 → PL3, 2 → PL4
 	hits    [6]uint64
 	misses  uint64
+	asid    uint64
 }
 
 // New returns a PWC with the given configuration.
@@ -63,10 +68,21 @@ func New(cfg Config) *PWC {
 // Latency returns the lookup cost in cycles.
 func (p *PWC) Latency() int { return p.cfg.Latency }
 
+// asidShift is the tag bit where the address-space identifier starts. The
+// longest VA prefix cached is a PL2 tag (48-bit VA >> 21 → 27 bits), so ASID
+// bits at 40 and up never collide with any prefix.
+const asidShift = 40
+
+// SetASID switches the identifier tagging subsequent lookups and fills (the
+// context-switch path of a tagged PWC). asid must stay below 1<<23 so tags
+// cannot reach the underlying arrays' invalid sentinel.
+func (p *PWC) SetASID(asid uint64) { p.asid = asid }
+
 // tag returns the key identifying the PL(level) entry on va's path: the VA
-// bits above the span that the entry points to.
-func tag(va mem.VirtAddr, level int) uint64 {
-	return uint64(va) >> pt.SpanShift(level-1)
+// bits above the span that the entry points to, tagged with the current
+// address space.
+func (p *PWC) tag(va mem.VirtAddr, level int) uint64 {
+	return p.asid<<asidShift | uint64(va)>>pt.SpanShift(level-1)
 }
 
 // Lookup returns the level at which the walker must resume its memory
@@ -77,7 +93,7 @@ func tag(va mem.VirtAddr, level int) uint64 {
 func (p *PWC) Lookup(va mem.VirtAddr, rootLevel int) int {
 	for i := 0; i < 3; i++ {
 		level := 2 + i
-		if p.byLevel[i].Lookup(tag(va, level)) {
+		if p.byLevel[i].Lookup(p.tag(va, level)) {
 			p.hits[level]++
 			return level - 1
 		}
@@ -94,7 +110,7 @@ func (p *PWC) Insert(va mem.VirtAddr, level int) {
 	if level < 2 || level > 4 {
 		return
 	}
-	p.byLevel[level-2].LookupInsert(tag(va, level))
+	p.byLevel[level-2].LookupInsert(p.tag(va, level))
 }
 
 // Flush invalidates all three structures.

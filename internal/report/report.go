@@ -27,6 +27,7 @@ var KeyCols = []string{
 	"experiment", "cell", "workload", "virtualized", "colocated",
 	"host_huge_pages", "clustered_tlb", "asap",
 	"range_registers", "hole_prob", "five_level", "pwc_entries",
+	"processes", "quantum_refs", "flush_on_switch",
 	"params_digest", "repeat", "seed",
 }
 
@@ -36,7 +37,7 @@ var MetricCols = []string{
 	"accesses", "walks", "walk_cycles", "avg_walk_lat", "tlb_miss_ratio",
 	"mpki", "total_cycles", "walk_fraction", "prefetch_issued",
 	"prefetch_covered", "range_hit_rate", "host_range_hit_rate",
-	"mshr_dropped", "range_overflowed",
+	"mshr_dropped", "range_overflowed", "switches", "shootdown_flushes",
 }
 
 // Record is one simulated cell repeat in machine-readable form.
@@ -54,6 +55,9 @@ type Record struct {
 	HoleProb       float64
 	FiveLevel      bool
 	PWCEntries     string // "PL4/PL3/PL2" entry counts
+	Processes      int
+	QuantumRefs    int
+	FlushOnSwitch  bool
 	ParamsDigest   string // Digest of the base parameter set (seed excluded)
 	Repeat         int
 	Seed           uint64    // the repeat's derived seed
@@ -85,16 +89,20 @@ func FromResult(experiment string, sc sim.Scenario, base sim.Params, repeat int,
 		FiveLevel:      base.FiveLevel,
 		PWCEntries: fmt.Sprintf("%d/%d/%d",
 			base.PWC.PL4Entries, base.PWC.PL3Entries, base.PWC.PL2Entries),
-		ParamsDigest: Digest(base),
-		Repeat:       repeat,
-		Seed:         base.ForRepeat(repeat).Seed,
+		Processes:     base.Processes,
+		QuantumRefs:   base.QuantumRefs,
+		FlushOnSwitch: base.FlushOnSwitch,
+		ParamsDigest:  Digest(base),
+		Repeat:        repeat,
+		Seed:          base.ForRepeat(repeat).Seed,
 		Metrics: []float64{
 			float64(res.Accesses), float64(res.Walks), float64(res.WalkCycles),
 			res.AvgWalkLat, res.TLBMissRatio, res.MPKI, res.TotalCycles,
 			res.WalkFraction, float64(res.PrefetchIssued),
 			float64(res.PrefetchCovered), res.RangeHitRate,
 			res.HostRangeHitRate, float64(res.MSHRDropped),
-			float64(res.RangeOverflowed),
+			float64(res.RangeOverflowed), float64(res.Switches),
+			float64(res.ShootdownFlushes),
 		},
 	}
 }

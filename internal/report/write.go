@@ -66,6 +66,8 @@ func (r Record) row() []string {
 		strconv.FormatBool(r.HostHugePages), strconv.FormatBool(r.ClusteredTLB),
 		r.ASAP, strconv.Itoa(r.RangeRegisters), num(r.HoleProb),
 		strconv.FormatBool(r.FiveLevel), r.PWCEntries,
+		strconv.Itoa(r.Processes), strconv.Itoa(r.QuantumRefs),
+		strconv.FormatBool(r.FlushOnSwitch),
 		r.ParamsDigest, strconv.Itoa(r.Repeat),
 		strconv.FormatUint(r.Seed, 10),
 	}
@@ -84,8 +86,10 @@ func (r Record) object() map[string]any {
 		"host_huge_pages": r.HostHugePages, "clustered_tlb": r.ClusteredTLB,
 		"asap": r.ASAP, "range_registers": r.RangeRegisters,
 		"hole_prob": r.HoleProb, "five_level": r.FiveLevel,
-		"pwc_entries":   r.PWCEntries,
-		"params_digest": r.ParamsDigest, "repeat": r.Repeat,
+		"pwc_entries": r.PWCEntries,
+		"processes":   r.Processes, "quantum_refs": r.QuantumRefs,
+		"flush_on_switch": r.FlushOnSwitch,
+		"params_digest":   r.ParamsDigest, "repeat": r.Repeat,
 		"seed": strconv.FormatUint(r.Seed, 10),
 	}
 	for i, name := range MetricCols {

@@ -60,3 +60,48 @@ func TestParallelMatchesSequential(t *testing.T) {
 		t.Fatalf("expected cross-experiment cache hits (fig2 and fig3 share their grid); stats = %d hits, %d misses", hits, misses)
 	}
 }
+
+// TestMultiprocParallelMatchesSequential drives the mix scheduler through
+// the runner: the multi-process ablation's cells — N co-scheduled processes,
+// flush and ASID switch policies, ASAP on and off — must render byte-identical
+// output whether cells simulate sequentially or fan out across workers.
+// Submission order fixes collection order, and each cell's quantum schedule
+// is a pure function of its seed, so worker interleaving (exercised under
+// -race in CI) must not leak into results.
+func TestMultiprocParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process grid is slow in -short mode")
+	}
+	options := func(buf *bytes.Buffer) exp.Options {
+		o := exp.Fast(buf)
+		o.Params.WarmupWalks = 1500
+		o.Params.MeasureWalks = 1500
+		s, ok := workload.ByName("mcf")
+		if !ok {
+			t.Fatal("missing workload mcf")
+		}
+		o.Workloads = []workload.Spec{s}
+		return o
+	}
+
+	var seq bytes.Buffer
+	if err := exp.Run("ablation-multiproc", options(&seq)); err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+
+	for trial := 0; trial < 2; trial++ {
+		var par bytes.Buffer
+		parOpts := options(&par)
+		r := runner.New(0)
+		parOpts.Runner = r
+		err := exp.Run("ablation-multiproc", parOpts)
+		r.Close()
+		if err != nil {
+			t.Fatalf("parallel trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+			t.Fatalf("trial %d: parallel multi-process output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				trial, seq.String(), par.String())
+		}
+	}
+}

@@ -35,6 +35,8 @@ func Aggregate(rs []*Result) (mean, std *Result) {
 	u(func(r *Result) uint64 { return r.PrefetchCovered }, func(r *Result, v uint64) { r.PrefetchCovered = v })
 	u(func(r *Result) uint64 { return r.MSHRDropped }, func(r *Result, v uint64) { r.MSHRDropped = v })
 	u(func(r *Result) uint64 { return r.RangeOverflowed }, func(r *Result, v uint64) { r.RangeOverflowed = v })
+	u(func(r *Result) uint64 { return r.Switches }, func(r *Result, v uint64) { r.Switches = v })
+	u(func(r *Result) uint64 { return r.ShootdownFlushes }, func(r *Result, v uint64) { r.ShootdownFlushes = v })
 	fold(func(r *Result) float64 { return r.AvgWalkLat }, func(r *Result, v float64) { r.AvgWalkLat = v })
 	fold(func(r *Result) float64 { return r.TLBMissRatio }, func(r *Result, v float64) { r.TLBMissRatio = v })
 	fold(func(r *Result) float64 { return r.MPKI }, func(r *Result, v float64) { r.MPKI = v })

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/pwc"
+	"repro/internal/rng"
+	"repro/internal/tlb"
+	"repro/internal/walker"
+	"repro/internal/workload"
+)
+
+// mproc is one co-scheduled process: its assembly (page table, frame map,
+// descriptor file — shared with other runs of the same workload), plus the
+// per-process reference generator that gives each process its own phase and
+// the data-traffic stream that models its cache footprint (see runMulti).
+type mproc struct {
+	spec      workload.Spec
+	asm       *nativeAssembly
+	gen       *workload.Generator
+	neighbors tlb.NeighborFunc
+	data      *workload.CoRunner
+}
+
+// runMulti time-shares Params.Processes native processes on the simulated
+// core (paper §3.3's context-switch regime, which the single-address-space
+// harness never exercised). Per switch, the incoming process pays the OS
+// cost, plus — with ASAP enabled — the descriptor-file save/restore the
+// paper argues is ordinary register state; translation state follows the
+// configured policy: FlushOnSwitch drops the TLBs and PWCs (untagged
+// hardware), otherwise entries are retained under per-process ASID tags.
+// The reference stream interleaves quantum slices driven by the
+// deterministic seeded scheduler, so walks, switches and flush refills land
+// identically for any worker count.
+//
+// Cache pressure follows the paper's co-runner methodology (§4) applied to
+// time-sharing: a process's own data accesses never flow through the
+// hierarchy while it runs (their cost is folded into DataStallCycles), but
+// they do evict lines the other processes cached. At every switch the
+// outgoing process's quantum-worth of data traffic is replayed into the
+// hierarchy — paced like the SMT co-runner, drawn from the process's data
+// frame area, and derived only from switch positions and per-process
+// streams, so the pollution is identical under either switch policy. It
+// costs no simulated time (it happened concurrently with the quantum);
+// what it changes is where the incoming process's walks are served.
+func runMulti(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
+	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result) error {
+	mix, err := workload.MixFor(sc.Workload, sc.Mix, p.Processes)
+	if err != nil {
+		return err
+	}
+	var engine *core.Engine
+	if sc.ASAP.Native.Enabled() {
+		engine = core.NewEngine(p.RangeRegisters, sc.ASAP.Native)
+	}
+	procs := make([]*mproc, len(mix.Specs))
+	for i, spec := range mix.Specs {
+		asm, err := nativeFor(spec, sc.ASAP.Native.Enabled(), p)
+		if err != nil {
+			return err
+		}
+		seed := p.Seed
+		if i > 0 {
+			// Same-workload processes share an assembly but never a phase.
+			seed = rng.Mix64(p.Seed + uint64(i)<<13)
+		}
+		layout, frames := asm.layout, asm.frames
+		procs[i] = &mproc{
+			spec: spec,
+			asm:  asm,
+			gen:  workload.NewGenerator(spec, layout, seed),
+			neighbors: func(vpn uint64) (uint64, bool) {
+				if !layout.PresentVPN(vpn) {
+					return 0, false
+				}
+				return uint64(frames.Frame(vpn)), true
+			},
+			data: workload.NewCoRunner(frames.Base.Addr(), frames.Span*mem.PageSize,
+				rng.Mix64(seed^0xda7a)),
+		}
+	}
+
+	pw := pwc.New(p.PWC)
+	w := &walker.Walker{H: h, PWC: pw, ASAP: engine, MSHR: mshr}
+	if engine != nil {
+		// Boot-time install of process 0's descriptor file; later switch-ins
+		// restore it again like any other process's.
+		engine.Swap(procs[0].asm.descs)
+	}
+	sched := workload.NewScheduler(len(procs), p.QuantumRefs, rng.Mix64(p.Seed^0x5c4ed))
+
+	var wr walker.Result
+	var now int64
+	measure := newMeter(sc.Workload, p)
+	var walksTotal, refs, sliceRefs int
+	var coDebt float64
+	measuring := false
+	cur := procs[0]
+	for refs = 0; refs < p.MaxRefs; refs++ {
+		if !measuring && walksTotal >= p.WarmupWalks {
+			measure.begin(tl, engine, nil, mshr)
+			measuring = true
+		}
+		if measuring && int(measure.walks) >= p.MeasureWalks {
+			break
+		}
+		pid, switched := sched.Tick()
+		if switched {
+			// Replay the outgoing quantum's data-side cache footprint: one
+			// request per CoAccessCycles of the quantum's nominal progress
+			// (stall + retire time per reference; walk time is excluded so
+			// the replay is policy-independent).
+			nominal := cur.spec.DataStallCycles + cur.spec.InstrPerRef*p.CPIBase
+			for n := int(float64(sliceRefs) * nominal / p.CoAccessCycles); n > 0; n-- {
+				h.Access(cur.data.Next())
+			}
+			sliceRefs = 0
+			cur = procs[pid]
+			cost := p.SwitchCycles
+			if engine != nil {
+				moved := engine.Swap(cur.asm.descs)
+				cost += p.DescSwapCycles * float64(moved)
+			}
+			if p.FlushOnSwitch {
+				tl.Flush()
+				pw.Flush()
+			} else {
+				tl.SetASID(uint64(pid))
+				pw.SetASID(uint64(pid))
+			}
+			now += int64(cost)
+			if measuring {
+				measure.contextSwitch(cost)
+			}
+		}
+		sliceRefs++
+		va := cur.gen.Next()
+		pfn := uint64(cur.asm.frames.Frame(va.VPN()))
+		refCycles := cur.spec.DataStallCycles + cur.spec.InstrPerRef*p.CPIBase
+		if !tl.LookupVA(va, pfn, cur.neighbors) {
+			w.Walk(now, cur.asm.table, va, &wr)
+			now += int64(wr.Cycles)
+			refCycles += float64(wr.Cycles)
+			tl.InsertVA(va, wr.Huge, pfn, cur.neighbors)
+			walksTotal++
+			if measuring {
+				measure.walk(&wr, res)
+			}
+		}
+		if co != nil {
+			for coDebt += refCycles / p.CoAccessCycles; coDebt >= 1; coDebt-- {
+				h.Access(co.Next())
+			}
+		}
+		now += int64(cur.spec.DataStallCycles)
+		if measuring {
+			measure.accessOf(cur.spec)
+		}
+	}
+	measure.finish(res, tl, engine, nil, mshr)
+	return nil
+}

@@ -56,6 +56,35 @@ type Params struct {
 	// only page-walk traffic — plus the co-runner under colocation — flows
 	// through the simulated cache hierarchy (§4).
 	CPIBase float64
+
+	// Processes co-schedules this many synthetic processes on the simulated
+	// core, time-sliced by a deterministic quantum scheduler. 0 and 1 both
+	// select the classic single-process run, which bypasses the scheduler
+	// entirely (and stays byte-identical to the pre-multi-process simulator).
+	// Process 0 runs Scenario.Workload; the rest come from Scenario.Mix.
+	Processes int
+	// QuantumRefs is the mean scheduler quantum in references; each slice's
+	// actual length is drawn deterministically from the run's seed (see
+	// workload.Scheduler). The default is small because the measurement
+	// windows are: a run measures 10³–10⁵ references where real hardware
+	// executes billions, so the quantum compresses proportionally to land
+	// several switches inside every window — the regime of a heavily
+	// oversubscribed core, time-sliced at microsecond scale.
+	QuantumRefs int
+	// FlushOnSwitch selects the untagged-TLB OS policy: flush the TLBs and
+	// PWCs on every context switch. When false, translation state is retained
+	// under per-process ASID tags and survives switches.
+	FlushOnSwitch bool
+	// SwitchCycles is the fixed OS cost of one context switch (trap, state
+	// save/restore, scheduler work), paid by the incoming process.
+	SwitchCycles float64
+	// DescSwapCycles is the per-register cost of saving/restoring ASAP VMA
+	// descriptors on a switch — the paper's §3.3 argument that descriptors
+	// are ordinary per-thread architectural state the OS swaps. It is charged
+	// per register moved (outgoing saved + incoming restored) and only when
+	// ASAP is enabled, so the switch experiments expose ASAP's added
+	// context-switch cost.
+	DescSwapCycles float64
 }
 
 // DefaultParams mirrors Table 5 and the harness defaults.
@@ -71,6 +100,10 @@ func DefaultParams() Params {
 		Seed:           42,
 		CoAccessCycles: 18,
 		CPIBase:        0.6,
+		Processes:      1,
+		QuantumRefs:    300,
+		SwitchCycles:   3_000,
+		DescSwapCycles: 6,
 	}
 }
 
@@ -133,6 +166,12 @@ type Scenario struct {
 	ASAP          ASAPConfig
 	HostHugePages bool // hypervisor backs the guest with 2 MB pages (Fig 12)
 	ClusteredTLB  bool // replace the STLB with the Clustered TLB (§5.4.1)
+	// Mix names the co-scheduled workloads of a multi-process run
+	// (Params.Processes > 1) as a comma-separated list, cycled to fill the
+	// process count; empty replicates Workload (see workload.MixFor). A
+	// string keeps Scenario flat and comparable, so mix cells memoize like
+	// any other.
+	Mix string
 }
 
 // CellKey is the stable, comparable identity of one simulation cell. Unlike
@@ -168,6 +207,9 @@ func (s Scenario) Name() string {
 	}
 	if s.ClusteredTLB {
 		n += "+ctlb"
+	}
+	if s.Mix != "" {
+		n += "+mix[" + s.Mix + "]"
 	}
 	return n + "/" + s.ASAP.String()
 }

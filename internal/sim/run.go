@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -34,15 +36,25 @@ type Result struct {
 	// ASAP internals. RangeHitRate covers the native engine (or the guest
 	// engine under virtualization); HostRangeHitRate covers the host-dimension
 	// engine, which a virtualized walk consults once per guest-walk step.
-	// RangeOverflowed counts VMA descriptors dropped at install time because
-	// every range register was occupied — it is a property of the setup (all
-	// installs precede warmup), not a measured-window delta.
+	// RangeOverflowed counts VMA descriptors dropped during the measured
+	// window because every range register was occupied. Single-process runs
+	// install all descriptors before warmup, so they report 0 here; under
+	// multi-process scheduling every switch-in restores the incoming
+	// process's descriptor file and the capacity-limited drops recur inside
+	// the window.
 	PrefetchIssued   uint64
 	PrefetchCovered  uint64
 	RangeHitRate     float64
 	HostRangeHitRate float64
 	MSHRDropped      uint64
 	RangeOverflowed  uint64
+
+	// Multi-process metrics (measured window). Switches counts context
+	// switches taken; ShootdownFlushes counts TLB invalidation events — full
+	// flushes under Params.FlushOnSwitch, ASID shootdowns otherwise (tagged
+	// retention performs none during normal scheduling, so it reports 0).
+	Switches         uint64
+	ShootdownFlushes uint64
 }
 
 // Run simulates one scenario cell and returns its metrics.
@@ -57,6 +69,12 @@ func Run(sc Scenario, p Params) (*Result, error) {
 		co = workload.NewCoRunner(coRunnerBase.Addr(), coRunnerSpan*mem.PageSize, p.Seed^0xc0)
 	}
 
+	if p.Processes > 1 {
+		if sc.Virtualized {
+			return res, fmt.Errorf("sim: multi-process scheduling is native-only (Processes=%d with Virtualized)", p.Processes)
+		}
+		return res, runMulti(sc, p, h, tl, mshr, co, res)
+	}
 	if sc.Virtualized {
 		return res, runVirt(sc, p, h, tl, mshr, co, res)
 	}
@@ -201,19 +219,26 @@ func runVirt(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 
 // meter accumulates measured-window statistics and the execution-time model.
 type meter struct {
-	p            Params
-	spec         workload.Spec
-	accesses     uint64
-	walks        uint64
-	walkCycles   uint64
-	dataCycles   float64
-	tlbAccesses0 uint64
-	tlbMisses0   uint64
-	lookups0     uint64
-	rangeHits0   uint64
-	hostLookups0 uint64
-	hostHits0    uint64
-	dropped0     uint64
+	p               Params
+	spec            workload.Spec
+	accesses        uint64
+	walks           uint64
+	walkCycles      uint64
+	dataCycles      float64
+	switchCycles    float64
+	switches        uint64
+	instr           float64 // per-access instruction sum (multi-process only)
+	multi           bool    // accesses span processes with differing specs
+	tlbAccesses0    uint64
+	tlbMisses0      uint64
+	flushes0        uint64
+	lookups0        uint64
+	rangeHits0      uint64
+	overflowed0     uint64
+	hostLookups0    uint64
+	hostHits0       uint64
+	hostOverflowed0 uint64
+	dropped0        uint64
 }
 
 func newMeter(spec workload.Spec, p Params) *meter {
@@ -228,13 +253,16 @@ func newMeter(spec workload.Spec, p Params) *meter {
 func (m *meter) begin(tl *tlb.TwoLevel, engine, host *core.Engine, mshr *cache.MSHRFile) {
 	m.tlbAccesses0 = tl.Accesses
 	m.tlbMisses0 = tl.L2Misses
+	m.flushes0 = tl.Flushes
 	if engine != nil {
 		m.lookups0 = engine.Lookups()
 		m.rangeHits0 = engine.RangeHits()
+		m.overflowed0 = engine.Overflowed()
 	}
 	if host != nil {
 		m.hostLookups0 = host.Lookups()
 		m.hostHits0 = host.RangeHits()
+		m.hostOverflowed0 = host.Overflowed()
 	}
 	m.dropped0 = mshr.Dropped()
 }
@@ -242,6 +270,23 @@ func (m *meter) begin(tl *tlb.TwoLevel, engine, host *core.Engine, mshr *cache.M
 func (m *meter) access() {
 	m.accesses++
 	m.dataCycles += m.spec.DataStallCycles
+}
+
+// accessOf accounts one reference of the currently scheduled process. Unlike
+// access, it accumulates instructions per reference, because a mix's
+// processes retire different instruction counts per access; finish then uses
+// the accumulated sum instead of accesses × the primary spec's rate.
+func (m *meter) accessOf(spec workload.Spec) {
+	m.accesses++
+	m.dataCycles += spec.DataStallCycles
+	m.instr += spec.InstrPerRef
+	m.multi = true
+}
+
+// contextSwitch accounts one measured-window switch and its modeled cost.
+func (m *meter) contextSwitch(cycles float64) {
+	m.switches++
+	m.switchCycles += cycles
 }
 
 func (m *meter) walk(wr *walker.Result, res *Result) {
@@ -267,11 +312,14 @@ func (m *meter) finish(res *Result, tl *tlb.TwoLevel, engine, host *core.Engine,
 		res.TLBMissRatio = float64(tl.L2Misses-m.tlbMisses0) / float64(n)
 	}
 	instructions := float64(m.accesses) * m.spec.InstrPerRef
+	if m.multi {
+		instructions = m.instr
+	}
 	if instructions > 0 {
 		res.MPKI = float64(tl.L2Misses-m.tlbMisses0) / (instructions / 1000)
 	}
 	coreCycles := instructions * m.p.CPIBase
-	res.TotalCycles = coreCycles + m.dataCycles + float64(m.walkCycles)
+	res.TotalCycles = coreCycles + m.dataCycles + float64(m.walkCycles) + m.switchCycles
 	if res.TotalCycles > 0 {
 		res.WalkFraction = float64(m.walkCycles) / res.TotalCycles
 	}
@@ -279,13 +327,15 @@ func (m *meter) finish(res *Result, tl *tlb.TwoLevel, engine, host *core.Engine,
 		if lookups := engine.Lookups() - m.lookups0; lookups > 0 {
 			res.RangeHitRate = float64(engine.RangeHits()-m.rangeHits0) / float64(lookups)
 		}
-		res.RangeOverflowed += engine.Overflowed()
+		res.RangeOverflowed += engine.Overflowed() - m.overflowed0
 	}
 	if host != nil {
 		if lookups := host.Lookups() - m.hostLookups0; lookups > 0 {
 			res.HostRangeHitRate = float64(host.RangeHits()-m.hostHits0) / float64(lookups)
 		}
-		res.RangeOverflowed += host.Overflowed()
+		res.RangeOverflowed += host.Overflowed() - m.hostOverflowed0
 	}
 	res.MSHRDropped = mshr.Dropped() - m.dropped0
+	res.Switches = m.switches
+	res.ShootdownFlushes = tl.Flushes - m.flushes0
 }

@@ -44,19 +44,27 @@ func NewClustered(entries, ways int) *Clustered {
 	}
 }
 
+// ctag packs the address-space identifier with the virtual cluster number.
+// A 36-bit page number yields a 33-bit cluster, so the ASID bits (ASIDShift
+// and up) never collide with it; ASID 0 reproduces the untagged encoding.
+func ctag(asid, cluster uint64) uint64 {
+	return asid<<ASIDShift | cluster
+}
+
 // Lookup implements Unit. Large pages are not clustered; they miss here so a
 // conventional structure can back them (the simulator only uses clustered
 // TLBs in 4 KB configurations, as the paper does).
-func (c *Clustered) Lookup(pageNum uint64, class PageClass) bool {
+func (c *Clustered) Lookup(asid, pageNum uint64, class PageClass) bool {
 	if class != Page4K {
 		return false
 	}
 	cluster := pageNum / ClusterSpan
 	sub := uint(pageNum % ClusterSpan)
+	tag := ctag(asid, cluster)
 	base := int(cluster&c.setMask) * c.ways
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if c.valid[i] != 0 && c.tags[i] == cluster && c.valid[i]>>sub&1 == 1 {
+		if c.valid[i] != 0 && c.tags[i] == tag && c.valid[i]>>sub&1 == 1 {
 			c.clock++
 			c.age[i] = c.clock
 			return true
@@ -68,7 +76,7 @@ func (c *Clustered) Lookup(pageNum uint64, class PageClass) bool {
 // Insert implements Unit. It probes the 8 pages of the cluster through
 // neighbors and packs every translation that lands in the same physical
 // cluster as the triggering page.
-func (c *Clustered) Insert(pageNum uint64, class PageClass, pfn uint64, neighbors NeighborFunc) {
+func (c *Clustered) Insert(asid, pageNum uint64, class PageClass, pfn uint64, neighbors NeighborFunc) {
 	if class != Page4K {
 		return
 	}
@@ -89,12 +97,19 @@ func (c *Clustered) Insert(pageNum uint64, class PageClass, pfn uint64, neighbor
 		c.coalesced += uint64(n - 1)
 	}
 
+	tag := ctag(asid, cluster)
 	base := int(cluster&c.setMask) * c.ways
 	c.clock++
-	victim := base
+	// Scan the whole set even past invalid ways: FlushASID can leave holes
+	// mid-set, and a resident same-tag entry beyond a hole must take the
+	// adopt-the-new-view path below, never be duplicated into the hole.
+	// Without holes (invalid ways are a fill-order suffix), preferring the
+	// first invalid way reproduces the historical break-at-first-invalid
+	// victim exactly.
+	victim := -1
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if c.valid[i] != 0 && c.tags[i] == cluster {
+		if c.valid[i] != 0 && c.tags[i] == tag {
 			// Same virtual cluster resident: adopt the new physical cluster
 			// view (a different physical cluster replaces the old contents).
 			if c.pbase[i] == pcluster {
@@ -107,14 +122,16 @@ func (c *Clustered) Insert(pageNum uint64, class PageClass, pfn uint64, neighbor
 			return
 		}
 		if c.valid[i] == 0 {
-			victim = i
-			break
+			if victim < 0 || c.valid[victim] != 0 {
+				victim = i
+			}
+			continue
 		}
-		if c.age[i] < c.age[victim] {
+		if victim < 0 || (c.valid[victim] != 0 && c.age[i] < c.age[victim]) {
 			victim = i
 		}
 	}
-	c.tags[victim] = cluster
+	c.tags[victim] = tag
 	c.pbase[victim] = pcluster
 	c.valid[victim] = bits
 	c.age[victim] = c.clock
@@ -125,6 +142,19 @@ func (c *Clustered) Flush() {
 	for i := range c.valid {
 		c.valid[i] = 0
 	}
+}
+
+// FlushASID implements Unit: it invalidates the clusters tagged with asid and
+// returns how many packed translations were dropped.
+func (c *Clustered) FlushASID(asid uint64) uint64 {
+	var n uint64
+	for i := range c.valid {
+		if c.valid[i] != 0 && c.tags[i]>>ASIDShift == asid {
+			n += uint64(popcount8(c.valid[i]))
+			c.valid[i] = 0
+		}
+	}
+	return n
 }
 
 // Coalesced returns how many extra translations were packed alongside

@@ -1,0 +1,273 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// This file checks the ASID tag packing differentially, in the style of
+// internal/pt/differential_test.go: refTwoLevel is a faithful copy of the
+// pre-ASID (seed) two-level TLB — untagged keys, same geometry, same LRU —
+// and every test drives it in lockstep with the tagged implementation at
+// ASID 0. Single-process runs only ever use ASID 0, so the tagged TLB must
+// match the untagged one lookup-for-lookup and counter-for-counter; that is
+// the micro-level half of the Processes=1 byte-identical guarantee (the
+// macro half is the experiment goldens).
+
+// refUnit mirrors the seed's set-associative TLB over untagged keys: an
+// exact reimplementation of cache.SetAssoc true-LRU semantics specialised to
+// the historical key encoding pageNum<<1|class.
+type refUnit struct {
+	sets    int
+	ways    int
+	setMask uint64
+	tags    []uint64
+	age     []uint64
+	valid   []bool
+	clock   uint64
+}
+
+func newRefUnit(entries, ways int) *refUnit {
+	return &refUnit{
+		sets:    entries / ways,
+		ways:    ways,
+		setMask: uint64(entries/ways - 1),
+		tags:    make([]uint64, entries),
+		age:     make([]uint64, entries),
+		valid:   make([]bool, entries),
+	}
+}
+
+func (u *refUnit) lookup(pageNum uint64, class PageClass) bool {
+	k := pageNum<<1 | uint64(class)
+	base := int(k&u.setMask) * u.ways
+	for w := 0; w < u.ways; w++ {
+		i := base + w
+		if u.valid[i] && u.tags[i] == k {
+			u.clock++
+			u.age[i] = u.clock
+			return true
+		}
+	}
+	return false
+}
+
+func (u *refUnit) insert(pageNum uint64, class PageClass) {
+	k := pageNum<<1 | uint64(class)
+	base := int(k&u.setMask) * u.ways
+	u.clock++
+	victim := base
+	for w := 0; w < u.ways; w++ {
+		i := base + w
+		if u.valid[i] && u.tags[i] == k {
+			u.age[i] = u.clock
+			return
+		}
+		if !u.valid[i] {
+			victim = i
+			break
+		}
+		if u.age[i] < u.age[victim] {
+			victim = i
+		}
+	}
+	u.tags[victim] = k
+	u.age[victim] = u.clock
+	u.valid[victim] = true
+}
+
+func (u *refUnit) flush() {
+	for i := range u.valid {
+		u.valid[i] = false
+	}
+}
+
+// refTwoLevel replays the seed's TwoLevel.LookupVA/InsertVA logic over two
+// refUnits.
+type refTwoLevel struct {
+	l1, l2                       *refUnit
+	accesses, l1Misses, l2Misses uint64
+}
+
+func newRefTwoLevel() *refTwoLevel {
+	return &refTwoLevel{l1: newRefUnit(64, 8), l2: newRefUnit(1536, 6)}
+}
+
+func (t *refTwoLevel) lookupVA(va mem.VirtAddr) bool {
+	t.accesses++
+	k4, k2 := PageNumber(va, Page4K), PageNumber(va, Page2M)
+	if t.l1.lookup(k4, Page4K) || t.l1.lookup(k2, Page2M) {
+		return true
+	}
+	t.l1Misses++
+	if t.l2.lookup(k4, Page4K) {
+		t.l1.insert(k4, Page4K)
+		return true
+	}
+	if t.l2.lookup(k2, Page2M) {
+		t.l1.insert(k2, Page2M)
+		return true
+	}
+	t.l2Misses++
+	return false
+}
+
+func (t *refTwoLevel) insertVA(va mem.VirtAddr, huge bool) {
+	if huge {
+		t.l1.insert(PageNumber(va, Page2M), Page2M)
+		t.l2.insert(PageNumber(va, Page2M), Page2M)
+		return
+	}
+	t.l1.insert(PageNumber(va, Page4K), Page4K)
+	t.l2.insert(PageNumber(va, Page4K), Page4K)
+}
+
+func (t *refTwoLevel) flush() {
+	t.l1.flush()
+	t.l2.flush()
+}
+
+// TestDifferentialTaggedMatchesUntagged drives the tagged TwoLevel at ASID 0
+// and the untagged reference through randomized op streams — miss-and-fill
+// lookups over mixed 4K/2M pages, dense and sparse regions, occasional full
+// flushes — asserting identical hit/miss outcomes on every single operation
+// and identical counters at every checkpoint.
+func TestDifferentialTaggedMatchesUntagged(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 0xdead} {
+		tagged := NewTwoLevel(false)
+		ref := newRefTwoLevel()
+		s := rng.New(seed)
+		for op := 0; op < 60_000; op++ {
+			var va mem.VirtAddr
+			switch s.Uint64n(4) {
+			case 0: // dense region: heavy set conflicts
+				va = mem.FromVPN(s.Uint64n(4096))
+			case 1: // sparse 48-bit tails
+				va = mem.VirtAddr(s.Uint64n(1 << 47))
+			case 2: // hot cluster
+				va = mem.FromVPN(1<<30 + s.Uint64n(64))
+			default: // 2 MB-aligned area
+				va = mem.VirtAddr(s.Uint64n(2048) * mem.HugeSize)
+			}
+			if s.Bool(0.002) {
+				tagged.Flush()
+				ref.flush()
+				continue
+			}
+			gotHit := tagged.LookupVA(va, 0, nil)
+			wantHit := ref.lookupVA(va)
+			if gotHit != wantHit {
+				t.Fatalf("seed %d op %d va %#x: tagged hit=%v untagged hit=%v", seed, op, va, gotHit, wantHit)
+			}
+			if !gotHit {
+				huge := s.Bool(0.1)
+				tagged.InsertVA(va, huge, 0, nil)
+				ref.insertVA(va, huge)
+			}
+		}
+		if tagged.Accesses != ref.accesses || tagged.L1Misses != ref.l1Misses || tagged.L2Misses != ref.l2Misses {
+			t.Fatalf("seed %d: counters diverged: tagged %d/%d/%d untagged %d/%d/%d",
+				seed, tagged.Accesses, tagged.L1Misses, tagged.L2Misses,
+				ref.accesses, ref.l1Misses, ref.l2Misses)
+		}
+	}
+}
+
+// TestASIDIsolation checks the tagging semantics the differential test
+// cannot see: entries are private per ASID, survive other processes'
+// switches, and die to targeted shootdowns only.
+func TestASIDIsolation(t *testing.T) {
+	tl := NewTwoLevel(false)
+	va := mem.FromVPN(77)
+	tl.SetASID(1)
+	tl.InsertVA(va, false, 9, nil)
+	if !tl.LookupVA(va, 9, nil) {
+		t.Fatal("ASID 1 lost its own entry")
+	}
+	tl.SetASID(2)
+	if tl.LookupVA(va, 9, nil) {
+		t.Fatal("ASID 2 hit ASID 1's entry")
+	}
+	tl.InsertVA(va, false, 10, nil)
+	tl.SetASID(1)
+	if !tl.LookupVA(va, 9, nil) {
+		t.Fatal("ASID 1's entry did not survive ASID 2's fill of the same page")
+	}
+	if n := tl.FlushASID(2); n == 0 {
+		t.Fatal("shootdown of ASID 2 invalidated nothing")
+	}
+	if !tl.LookupVA(va, 9, nil) {
+		t.Fatal("shootdown of ASID 2 killed ASID 1's entry")
+	}
+	if n := tl.FlushASID(1); n == 0 {
+		t.Fatal("shootdown of ASID 1 invalidated nothing")
+	}
+	if tl.LookupVA(va, 9, nil) {
+		t.Fatal("entry survived its own ASID's shootdown")
+	}
+	if tl.Flushes != 2 || tl.ShotDown == 0 {
+		t.Fatalf("flush accounting: Flushes=%d ShotDown=%d", tl.Flushes, tl.ShotDown)
+	}
+}
+
+// TestFlushCounting checks the satellite contract: Flushes increments on
+// both full flushes and shootdowns, so mid-window invalidations are
+// observable next to the untouched access counters.
+func TestFlushCounting(t *testing.T) {
+	tl := NewTwoLevel(false)
+	tl.InsertVA(mem.FromVPN(1), false, 0, nil)
+	tl.LookupVA(mem.FromVPN(1), 0, nil)
+	tl.Flush()
+	tl.FlushASID(0)
+	if tl.Flushes != 2 {
+		t.Fatalf("Flushes = %d, want 2", tl.Flushes)
+	}
+	if tl.Accesses != 1 {
+		t.Fatalf("flush disturbed access counters: %d", tl.Accesses)
+	}
+}
+
+// TestClusteredASID mirrors the isolation test for the coalescing TLB.
+func TestClusteredASID(t *testing.T) {
+	c := NewClustered(64, 4)
+	identity := func(vpn uint64) (uint64, bool) { return vpn, true }
+	c.Insert(1, 8, Page4K, 8, identity)
+	if !c.Lookup(1, 8, Page4K) || c.Lookup(2, 8, Page4K) {
+		t.Fatal("clustered entries not ASID-private")
+	}
+	if n := c.FlushASID(1); n == 0 {
+		t.Fatal("clustered shootdown invalidated nothing")
+	}
+	if c.Lookup(1, 8, Page4K) {
+		t.Fatal("clustered entry survived its shootdown")
+	}
+}
+
+// TestClusteredRemapAcrossShootdownHole reproduces the mid-set-hole hazard:
+// after a shootdown frees an earlier way, a remap of a cluster resident
+// beyond the hole must still take the adopt path — the stale physical view
+// must not survive in a later way while the new one lands in the hole.
+func TestClusteredRemapAcrossShootdownHole(t *testing.T) {
+	c := NewClustered(4, 4) // one set
+	identity := func(vpn uint64) (uint64, bool) { return vpn, true }
+	c.Insert(1, 8, Page4K, 8, identity) // way 0: ASID 1
+	c.Insert(2, 8, Page4K, 8, identity) // way 1: ASID 2, same cluster
+	if n := c.FlushASID(1); n == 0 {
+		t.Fatal("shootdown invalidated nothing")
+	}
+	// Remap ASID 2's cluster to a different physical cluster.
+	c.Insert(2, 9, Page4K, 9000, func(vpn uint64) (uint64, bool) {
+		if vpn == 9 {
+			return 9000, true
+		}
+		return vpn, true
+	})
+	if !c.Lookup(2, 9, Page4K) {
+		t.Fatal("new mapping missing after remap across the hole")
+	}
+	if c.Lookup(2, 8, Page4K) {
+		t.Fatal("stale physical cluster view survived a remap across a shootdown hole")
+	}
+}

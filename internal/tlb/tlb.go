@@ -18,11 +18,21 @@ const (
 	Page2M
 )
 
-// key encodes a page number and its class into a single tag. The class sits
-// in the low bit so 4 KB and 2 MB entries of nearby addresses spread across
-// sets.
-func key(pageNum uint64, class PageClass) uint64 {
-	return pageNum<<1 | uint64(class)
+// ASIDShift is the tag bit where the address-space identifier starts. A
+// 48-bit virtual address has at most a 36-bit 4 KB page number, so the packed
+// page-number-and-class field below occupies under 38 bits and the ASID tag
+// bits never collide with it. ASIDs must stay below 1<<23 so the packed tag
+// cannot reach the all-ones invalid sentinel of the underlying arrays.
+const ASIDShift = 40
+
+// key encodes an address-space identifier, a page number and its class into a
+// single tag. The class sits in the low bit so 4 KB and 2 MB entries of
+// nearby addresses spread across sets; the ASID sits in the high bits so one
+// structure can hold several address spaces' translations at once (tagged
+// TLBs, as opposed to flush-on-switch). ASID 0 leaves the tag bit-identical
+// to the historical untagged encoding.
+func key(asid, pageNum uint64, class PageClass) uint64 {
+	return asid<<ASIDShift | pageNum<<1 | uint64(class)
 }
 
 // NeighborFunc reports the physical frame mapping a virtual page, for the
@@ -30,12 +40,15 @@ func key(pageNum uint64, class PageClass) uint64 {
 // unmapped pages.
 type NeighborFunc func(vpn uint64) (pfn uint64, ok bool)
 
-// Unit is a single TLB structure. Insert receives the filled page's frame and
-// a neighbour probe so coalescing TLBs can pack adjacent translations.
+// Unit is a single TLB structure. Entries are tagged by (asid, page, class);
+// Insert receives the filled page's frame and a neighbour probe so coalescing
+// TLBs can pack adjacent translations. FlushASID invalidates one address
+// space's entries (a shootdown) and returns how many it dropped.
 type Unit interface {
-	Lookup(pageNum uint64, class PageClass) bool
-	Insert(pageNum uint64, class PageClass, pfn uint64, neighbors NeighborFunc)
+	Lookup(asid, pageNum uint64, class PageClass) bool
+	Insert(asid, pageNum uint64, class PageClass, pfn uint64, neighbors NeighborFunc)
 	Flush()
+	FlushASID(asid uint64) uint64
 }
 
 // TLB is a conventional set-associative TLB.
@@ -49,22 +62,34 @@ func New(entries, ways int) *TLB {
 }
 
 // Lookup implements Unit.
-func (t *TLB) Lookup(pageNum uint64, class PageClass) bool {
-	return t.arr.Lookup(key(pageNum, class))
+func (t *TLB) Lookup(asid, pageNum uint64, class PageClass) bool {
+	return t.arr.Lookup(key(asid, pageNum, class))
 }
 
 // Insert implements Unit; a conventional TLB ignores the neighbour probe.
 // The combined probe refreshes a resident entry or installs over the LRU way
 // in a single set scan.
-func (t *TLB) Insert(pageNum uint64, class PageClass, pfn uint64, neighbors NeighborFunc) {
-	t.arr.LookupInsert(key(pageNum, class))
+func (t *TLB) Insert(asid, pageNum uint64, class PageClass, pfn uint64, neighbors NeighborFunc) {
+	t.arr.LookupInsert(key(asid, pageNum, class))
 }
 
 // Flush implements Unit.
 func (t *TLB) Flush() { t.arr.Flush() }
 
+// asidMask selects the ASID bits of a packed tag.
+const asidMask = ^uint64(1<<ASIDShift - 1)
+
+// FlushASID implements Unit: it invalidates exactly the entries whose tag
+// carries asid, leaving other address spaces' translations resident.
+func (t *TLB) FlushASID(asid uint64) uint64 {
+	return t.arr.FlushMask(asidMask, asid<<ASIDShift)
+}
+
 // TwoLevel is the L1 + L2 (STLB) arrangement of Table 5. An L2 hit refills
-// the L1 entry.
+// the L1 entry. Entries are tagged with the current address-space identifier
+// (SetASID), so several processes' translations can coexist; ASID 0 — the
+// default, and the only value single-process runs ever use — produces tags
+// identical to the untagged encoding.
 type TwoLevel struct {
 	L1 Unit
 	L2 Unit
@@ -72,6 +97,13 @@ type TwoLevel struct {
 	Accesses uint64 // lookups performed
 	L1Misses uint64
 	L2Misses uint64 // misses in both levels (walk triggers)
+	// Flushes counts invalidation events — full flushes and ASID shootdowns
+	// alike — so callers can tell mid-window that entries (but not the access
+	// counters) were cleared. ShotDown counts the entries FlushASID dropped.
+	Flushes  uint64
+	ShotDown uint64
+
+	asid uint64 // tag of the currently running address space
 }
 
 // NewTwoLevel returns the paper's default TLB system: 64-entry 8-way L1 and
@@ -87,10 +119,19 @@ func NewTwoLevel(clusteredL2 bool) *TwoLevel {
 	return &TwoLevel{L1: New(64, 8), L2: l2}
 }
 
+// SetASID switches the identifier tagging subsequent lookups and fills — the
+// context-switch path of a tagged TLB, which retains the outgoing process's
+// entries instead of flushing them. asid must stay below 1<<23 (see
+// ASIDShift).
+func (t *TwoLevel) SetASID(asid uint64) { t.asid = asid }
+
+// ASID returns the identifier tagging subsequent lookups and fills.
+func (t *TwoLevel) ASID() uint64 { return t.asid }
+
 // Insert fills both levels after a successful walk.
 func (t *TwoLevel) Insert(pageNum uint64, class PageClass, pfn uint64, neighbors NeighborFunc) {
-	t.L1.Insert(pageNum, class, pfn, neighbors)
-	t.L2.Insert(pageNum, class, pfn, neighbors)
+	t.L1.Insert(t.asid, pageNum, class, pfn, neighbors)
+	t.L2.Insert(t.asid, pageNum, class, pfn, neighbors)
 }
 
 // LookupVA probes both page-size classes for va, counting a single TLB
@@ -103,16 +144,16 @@ func (t *TwoLevel) Insert(pageNum uint64, class PageClass, pfn uint64, neighbors
 func (t *TwoLevel) LookupVA(va mem.VirtAddr, pfn uint64, neighbors NeighborFunc) bool {
 	t.Accesses++
 	k4, k2 := PageNumber(va, Page4K), PageNumber(va, Page2M)
-	if t.L1.Lookup(k4, Page4K) || t.L1.Lookup(k2, Page2M) {
+	if t.L1.Lookup(t.asid, k4, Page4K) || t.L1.Lookup(t.asid, k2, Page2M) {
 		return true
 	}
 	t.L1Misses++
-	if t.L2.Lookup(k4, Page4K) {
-		t.L1.Insert(k4, Page4K, pfn, neighbors)
+	if t.L2.Lookup(t.asid, k4, Page4K) {
+		t.L1.Insert(t.asid, k4, Page4K, pfn, neighbors)
 		return true
 	}
-	if t.L2.Lookup(k2, Page2M) {
-		t.L1.Insert(k2, Page2M, pfn, nil)
+	if t.L2.Lookup(t.asid, k2, Page2M) {
+		t.L1.Insert(t.asid, k2, Page2M, pfn, nil)
 		return true
 	}
 	t.L2Misses++
@@ -129,10 +170,23 @@ func (t *TwoLevel) InsertVA(va mem.VirtAddr, huge bool, pfn uint64, neighbors Ne
 	t.Insert(PageNumber(va, Page4K), Page4K, pfn, neighbors)
 }
 
-// Flush empties both levels (context switch).
+// Flush empties both levels — the context-switch path of an untagged TLB.
+// The access counters are untouched; Flushes records that entries vanished
+// mid-window so callers can account for the refill misses that follow.
 func (t *TwoLevel) Flush() {
 	t.L1.Flush()
 	t.L2.Flush()
+	t.Flushes++
+}
+
+// FlushASID drops one address space's entries from both levels (a TLB
+// shootdown — process exit, ASID recycling) and returns how many entries it
+// invalidated, which also accumulates in ShotDown.
+func (t *TwoLevel) FlushASID(asid uint64) uint64 {
+	n := t.L1.FlushASID(asid) + t.L2.FlushASID(asid)
+	t.Flushes++
+	t.ShotDown += n
+	return n
 }
 
 // MissRatio returns the fraction of lookups that missed both levels.

@@ -9,19 +9,19 @@ import (
 
 func TestTLBBasic(t *testing.T) {
 	u := New(64, 8)
-	if u.Lookup(5, Page4K) {
+	if u.Lookup(0, 5, Page4K) {
 		t.Fatal("hit in empty TLB")
 	}
-	u.Insert(5, Page4K, 99, nil)
-	if !u.Lookup(5, Page4K) {
+	u.Insert(0, 5, Page4K, 99, nil)
+	if !u.Lookup(0, 5, Page4K) {
 		t.Fatal("miss after insert")
 	}
 	// Same page number, different class, is a different entry.
-	if u.Lookup(5, Page2M) {
+	if u.Lookup(0, 5, Page2M) {
 		t.Fatal("4K entry matched a 2M lookup")
 	}
 	u.Flush()
-	if u.Lookup(5, Page4K) {
+	if u.Lookup(0, 5, Page4K) {
 		t.Fatal("hit after flush")
 	}
 }
@@ -93,14 +93,14 @@ func TestClusteredCoalescesContiguous(t *testing.T) {
 	c := NewClustered(64, 4)
 	// Perfectly clustered mapping: pfn = vpn (identity).
 	identity := func(vpn uint64) (uint64, bool) { return vpn, true }
-	c.Insert(8, Page4K, 8, identity)
+	c.Insert(0, 8, Page4K, 8, identity)
 	// All 8 pages of the cluster [8,16) must now hit.
 	for vpn := uint64(8); vpn < 16; vpn++ {
-		if !c.Lookup(vpn, Page4K) {
+		if !c.Lookup(0, vpn, Page4K) {
 			t.Fatalf("clustered page %d missed", vpn)
 		}
 	}
-	if c.Lookup(16, Page4K) {
+	if c.Lookup(0, 16, Page4K) {
 		t.Fatal("page outside the cluster hit")
 	}
 	if c.Coalesced() != 7 {
@@ -112,12 +112,12 @@ func TestClusteredScatteredDegenerates(t *testing.T) {
 	c := NewClustered(64, 4)
 	// Scattered mapping: each vpn maps to a far-apart frame.
 	scattered := func(vpn uint64) (uint64, bool) { return vpn * 1000, true }
-	c.Insert(8, Page4K, 8000, scattered)
-	if !c.Lookup(8, Page4K) {
+	c.Insert(0, 8, Page4K, 8000, scattered)
+	if !c.Lookup(0, 8, Page4K) {
 		t.Fatal("triggering page missed")
 	}
 	for vpn := uint64(9); vpn < 16; vpn++ {
-		if c.Lookup(vpn, Page4K) {
+		if c.Lookup(0, vpn, Page4K) {
 			t.Fatalf("scattered neighbour %d wrongly coalesced", vpn)
 		}
 	}
@@ -135,14 +135,14 @@ func TestClusteredPartialCluster(t *testing.T) {
 		}
 		return vpn + 8000, true
 	}
-	c.Insert(8, Page4K, 8, mapping)
+	c.Insert(0, 8, Page4K, 8, mapping)
 	for vpn := uint64(8); vpn < 12; vpn++ {
-		if !c.Lookup(vpn, Page4K) {
+		if !c.Lookup(0, vpn, Page4K) {
 			t.Fatalf("contiguous page %d missed", vpn)
 		}
 	}
 	for vpn := uint64(12); vpn < 16; vpn++ {
-		if c.Lookup(vpn, Page4K) {
+		if c.Lookup(0, vpn, Page4K) {
 			t.Fatalf("non-contiguous page %d hit", vpn)
 		}
 	}
@@ -156,30 +156,30 @@ func TestClusteredUnmappedNeighbors(t *testing.T) {
 		}
 		return vpn, true
 	}
-	c.Insert(8, Page4K, 8, mapping)
-	if c.Lookup(9, Page4K) {
+	c.Insert(0, 8, Page4K, 8, mapping)
+	if c.Lookup(0, 9, Page4K) {
 		t.Fatal("unmapped neighbour wrongly present")
 	}
-	if !c.Lookup(10, Page4K) {
+	if !c.Lookup(0, 10, Page4K) {
 		t.Fatal("mapped neighbour missing")
 	}
 }
 
 func TestClusteredNilNeighbors(t *testing.T) {
 	c := NewClustered(64, 4)
-	c.Insert(20, Page4K, 77, nil)
-	if !c.Lookup(20, Page4K) {
+	c.Insert(0, 20, Page4K, 77, nil)
+	if !c.Lookup(0, 20, Page4K) {
 		t.Fatal("triggering page missed with nil neighbour probe")
 	}
-	if c.Lookup(21, Page4K) {
+	if c.Lookup(0, 21, Page4K) {
 		t.Fatal("neighbour hit without probe")
 	}
 }
 
 func TestClusteredIgnoresLargePages(t *testing.T) {
 	c := NewClustered(64, 4)
-	c.Insert(5, Page2M, 5, nil)
-	if c.Lookup(5, Page2M) {
+	c.Insert(0, 5, Page2M, 5, nil)
+	if c.Lookup(0, 5, Page2M) {
 		t.Fatal("clustered TLB should not hold 2M entries")
 	}
 }
@@ -188,32 +188,32 @@ func TestClusteredEvictionLRU(t *testing.T) {
 	c := NewClustered(4, 4) // one set
 	identity := func(vpn uint64) (uint64, bool) { return vpn, true }
 	for i := uint64(0); i < 4; i++ {
-		c.Insert(i*8, Page4K, i*8, identity)
+		c.Insert(0, i*8, Page4K, i*8, identity)
 	}
-	c.Lookup(0, Page4K) // cluster 0 becomes MRU
-	c.Insert(100*8, Page4K, 800, identity)
-	if !c.Lookup(0, Page4K) {
+	c.Lookup(0, 0, Page4K) // cluster 0 becomes MRU
+	c.Insert(0, 100*8, Page4K, 800, identity)
+	if !c.Lookup(0, 0, Page4K) {
 		t.Fatal("MRU cluster evicted")
 	}
-	if c.Lookup(8, Page4K) {
+	if c.Lookup(0, 8, Page4K) {
 		t.Fatal("LRU cluster survived")
 	}
 }
 
 func TestClusteredSameVClusterNewPCluster(t *testing.T) {
 	c := NewClustered(64, 4)
-	c.Insert(8, Page4K, 8, func(vpn uint64) (uint64, bool) { return vpn, true })
+	c.Insert(0, 8, Page4K, 8, func(vpn uint64) (uint64, bool) { return vpn, true })
 	// Remap: same virtual cluster now points somewhere else entirely.
-	c.Insert(9, Page4K, 9000, func(vpn uint64) (uint64, bool) {
+	c.Insert(0, 9, Page4K, 9000, func(vpn uint64) (uint64, bool) {
 		if vpn == 9 {
 			return 9000, true
 		}
 		return vpn, true
 	})
-	if !c.Lookup(9, Page4K) {
+	if !c.Lookup(0, 9, Page4K) {
 		t.Fatal("new mapping missing")
 	}
-	if c.Lookup(8, Page4K) {
+	if c.Lookup(0, 8, Page4K) {
 		t.Fatal("stale physical cluster contents survived remap")
 	}
 }
@@ -229,9 +229,9 @@ func TestClusteredReachExceedsConventional(t *testing.T) {
 		misses := 0
 		for pass := 0; pass < 4; pass++ {
 			for vpn := uint64(0); vpn < 256; vpn++ {
-				if !u.Lookup(vpn, Page4K) {
+				if !u.Lookup(0, vpn, Page4K) {
 					misses++
-					u.Insert(vpn, Page4K, vpn, identity)
+					u.Insert(0, vpn, Page4K, vpn, identity)
 				}
 			}
 		}
@@ -248,11 +248,11 @@ func TestClusteredPropertyLookupOnlyInsertedClusters(t *testing.T) {
 	identity := func(vpn uint64) (uint64, bool) { return vpn, true }
 	f := func(raw uint64) bool {
 		vpn := raw % (1 << 16)
-		c.Insert(vpn, Page4K, vpn, identity)
+		c.Insert(0, vpn, Page4K, vpn, identity)
 		inserted[vpn/ClusterSpan] = true
 		// Any hit must belong to an inserted cluster.
 		probe := raw % (1 << 17)
-		if c.Lookup(probe, Page4K) && !inserted[probe/ClusterSpan] {
+		if c.Lookup(0, probe, Page4K) && !inserted[probe/ClusterSpan] {
 			return false
 		}
 		return true

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// Mix is a set of co-scheduled workload specs time-sharing one simulated
+// core — the multi-process deployment dimension. Unlike the SMT co-runner
+// (which shares only the cache hierarchy, concurrently), mix processes share
+// the core itself: one runs at a time, and every context switch exercises the
+// OS policy under study (TLB flush vs. ASID-tagged retention, ASAP
+// descriptor-file save/restore).
+type Mix struct {
+	Specs []Spec
+}
+
+// MixFor resolves the process set of an n-process scenario. The primary spec
+// is process 0; the remaining n-1 slots are filled from the comma-separated
+// workload names in names, cycled when the list is shorter. An empty names
+// list replicates the primary — a homogeneous mix of identical server
+// replicas. The expansion is purely positional, so a (primary, names, n)
+// triple always yields the same mix: scenario identity stays a flat,
+// comparable value.
+func MixFor(primary Spec, names string, n int) (Mix, error) {
+	if n < 1 {
+		return Mix{}, fmt.Errorf("workload: mix needs at least one process, got %d", n)
+	}
+	pool := []Spec{primary}
+	if trimmed := strings.TrimSpace(names); trimmed != "" {
+		pool = pool[:0]
+		for _, nm := range strings.Split(trimmed, ",") {
+			s, ok := ByName(strings.TrimSpace(nm))
+			if !ok {
+				return Mix{}, fmt.Errorf("workload: unknown mix workload %q", strings.TrimSpace(nm))
+			}
+			pool = append(pool, s)
+		}
+	}
+	m := Mix{Specs: make([]Spec, 0, n)}
+	m.Specs = append(m.Specs, primary)
+	for i := 1; i < n; i++ {
+		m.Specs = append(m.Specs, pool[i%len(pool)])
+	}
+	return m, nil
+}
+
+// Names renders the mix as its workload names, in schedule order.
+func (m Mix) Names() string {
+	names := make([]string, len(m.Specs))
+	for i, s := range m.Specs {
+		names[i] = s.Name
+	}
+	return strings.Join(names, ",")
+}
+
+// Scheduler deterministically time-slices n processes on one core:
+// round-robin order with quantum lengths drawn from the seeded stream,
+// uniform in [quantum/2, quantum/2 + quantum) references (mean ≈ quantum).
+// The jitter keeps co-scheduled access phases from beating in lockstep with
+// the quantum boundary while staying exactly reproducible per seed — the same
+// determinism contract every other generator in this package honours.
+type Scheduler struct {
+	s       *rng.Stream
+	n       int
+	quantum int
+	cur     int
+	left    int
+}
+
+// NewScheduler returns a scheduler over n processes with mean quantum
+// references per slice.
+func NewScheduler(n, quantum int, seed uint64) *Scheduler {
+	if n < 1 {
+		panic("workload: scheduler needs at least one process")
+	}
+	if quantum < 1 {
+		panic("workload: scheduler needs a positive quantum")
+	}
+	s := &Scheduler{s: rng.New(seed), n: n, quantum: quantum}
+	s.left = s.nextQuantum()
+	return s
+}
+
+func (s *Scheduler) nextQuantum() int {
+	q := s.quantum/2 + int(s.s.Uint64n(uint64(s.quantum)))
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
+// Tick accounts one reference of progress and returns the process that
+// executes it, plus whether a context switch happened immediately before it.
+// A single-process schedule never switches.
+func (s *Scheduler) Tick() (pid int, switched bool) {
+	if s.left <= 0 {
+		s.cur = (s.cur + 1) % s.n
+		s.left = s.nextQuantum()
+		switched = s.n > 1
+	}
+	s.left--
+	return s.cur, switched
+}

@@ -272,3 +272,72 @@ func TestPatternString(t *testing.T) {
 		}
 	}
 }
+
+func TestMixFor(t *testing.T) {
+	mcf, _ := ByName("mcf")
+	// Empty names replicate the primary.
+	m, err := MixFor(mcf, "", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Names() != "mcf,mcf,mcf" {
+		t.Fatalf("homogeneous mix = %q", m.Names())
+	}
+	// Named pools cycle, primary first.
+	m, err = MixFor(mcf, "mcf,canneal", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Names() != "mcf,canneal,mcf,canneal" {
+		t.Fatalf("cycled mix = %q", m.Names())
+	}
+	if _, err := MixFor(mcf, "nosuch", 2); err == nil {
+		t.Fatal("unknown mix workload accepted")
+	}
+	if _, err := MixFor(mcf, "", 0); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+}
+
+func TestSchedulerDeterministicRoundRobin(t *testing.T) {
+	// Same seed → identical schedule; quanta jitter around the mean; order
+	// is strict round-robin.
+	a := NewScheduler(3, 100, 7)
+	b := NewScheduler(3, 100, 7)
+	counts := map[int]int{}
+	last, switches := 0, 0
+	for i := 0; i < 10_000; i++ {
+		pa, sa := a.Tick()
+		pb, sb := b.Tick()
+		if pa != pb || sa != sb {
+			t.Fatalf("tick %d: schedules diverged (%d,%v) vs (%d,%v)", i, pa, sa, pb, sb)
+		}
+		if sa {
+			switches++
+			if pa != (last+1)%3 {
+				t.Fatalf("tick %d: switch to %d after %d is not round-robin", i, pa, last)
+			}
+		} else if pa != last && i > 0 {
+			t.Fatalf("tick %d: pid changed without a switch", i)
+		}
+		last = pa
+		counts[pa]++
+	}
+	if switches < 60 || switches > 140 {
+		t.Fatalf("%d switches over 10k ticks with quantum 100", switches)
+	}
+	for pid, c := range counts {
+		if c < 2500 || c > 4200 {
+			t.Fatalf("process %d ran %d of 10k ticks; schedule unfair", pid, c)
+		}
+	}
+}
+
+func TestSchedulerSingleProcessNeverSwitches(t *testing.T) {
+	s := NewScheduler(1, 10, 3)
+	for i := 0; i < 1000; i++ {
+		if pid, switched := s.Tick(); pid != 0 || switched {
+			t.Fatalf("tick %d: pid=%d switched=%v", i, pid, switched)
+		}
+	}
+}
