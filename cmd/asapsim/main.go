@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		name      = flag.String("workload", "mc80", "workload name ("+strings.Join(workload.Names(), ", "))
+		name      = flag.String("workload", "mc80", "workload name ("+strings.Join(workload.Names(), ", ")+")")
 		asapFlag  = flag.String("asap", "off", "native ASAP config: off, p1, p1+p2, p1+p2+p3")
 		guestFlag = flag.String("guest", "off", "guest ASAP config (with -virt)")
 		hostFlag  = flag.String("host", "off", "host ASAP config (with -virt)")
@@ -51,8 +51,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown workload %q; have %s\n", *name, strings.Join(workload.Names(), ", "))
 		os.Exit(2)
 	}
+	native, guest, host := parseASAP(*asapFlag), parseASAP(*guestFlag), parseASAP(*hostFlag)
+	// Reject contradictory flag combinations up front: silently ignoring a
+	// dimension the user asked for produces misleading results.
 	if *procs <= 1 && (*mix != "" || *flushSw || *quantum > 0) {
 		fmt.Fprintln(os.Stderr, "-mix, -flushswitch and -quantum require -procs > 1")
+		os.Exit(2)
+	}
+	if !*virtual && (guest.Enabled() || host.Enabled() || *hugeHost) {
+		fmt.Fprintln(os.Stderr, "-guest, -host and -hugehost require -virt")
+		os.Exit(2)
+	}
+	if *virtual && *procs > 1 {
+		fmt.Fprintln(os.Stderr, "-virt does not combine with -procs > 1 (multi-process scheduling is native-only)")
+		os.Exit(2)
+	}
+	if *virtual && native.Enabled() {
+		fmt.Fprintln(os.Stderr, "-asap selects the native engine; under -virt use -guest/-host")
 		os.Exit(2)
 	}
 	p := sim.DefaultParams()
@@ -80,9 +95,9 @@ func main() {
 		ClusteredTLB:  *clustered,
 		Mix:           *mix,
 		ASAP: sim.ASAPConfig{
-			Native: parseASAP(*asapFlag),
-			Guest:  parseASAP(*guestFlag),
-			Host:   parseASAP(*hostFlag),
+			Native: native,
+			Guest:  guest,
+			Host:   host,
 		},
 	}
 	// A single cell gains nothing from parallelism, but routing through the
@@ -126,19 +141,9 @@ func main() {
 }
 
 func parseASAP(s string) core.Config {
-	var c core.Config
-	switch strings.ToLower(s) {
-	case "", "off", "baseline", "none":
-	case "p1":
-		c.P1 = true
-	case "p2":
-		c.P2 = true
-	case "p1+p2":
-		c.P1, c.P2 = true, true
-	case "p1+p2+p3":
-		c.P1, c.P2, c.P3 = true, true, true
-	default:
-		fmt.Fprintf(os.Stderr, "unknown ASAP config %q (want off, p1, p2, p1+p2, p1+p2+p3)\n", s)
+	c, err := core.ParseConfig(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	return c

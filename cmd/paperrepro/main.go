@@ -62,6 +62,7 @@ func run() (exit int) {
 		format  = flag.String("format", "csv", "artifact format: csv or json")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		tracef  = flag.String("trace", "", "reference-trace file for the trace-asap experiment (record with asaptrace)")
 	)
 	flag.Parse()
 
@@ -126,6 +127,7 @@ func run() (exit int) {
 		}()
 	}
 	o.Repeats = *repeats
+	o.Trace = *tracef
 	var col *report.Collector
 	if *out != "" {
 		col = report.NewCollector()

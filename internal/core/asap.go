@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/mem"
 	"repro/internal/pt"
@@ -60,6 +61,26 @@ func (c Config) String() string {
 		s += fmt.Sprintf("P%d", l)
 	}
 	return s
+}
+
+// ParseConfig parses a figure-style configuration name as the CLIs accept
+// it: "off" (also "", "baseline", "none"), "p1", "p2", "p1+p2", "p1+p2+p3".
+func ParseConfig(s string) (Config, error) {
+	var c Config
+	switch strings.ToLower(s) {
+	case "", "off", "baseline", "none":
+	case "p1":
+		c.P1 = true
+	case "p2":
+		c.P2 = true
+	case "p1+p2":
+		c.P1, c.P2 = true, true
+	case "p1+p2+p3":
+		c.P1, c.P2, c.P3 = true, true, true
+	default:
+		return c, fmt.Errorf("core: unknown ASAP config %q (want off, p1, p2, p1+p2, p1+p2+p3)", s)
+	}
+	return c, nil
 }
 
 // MaxLevels bounds the per-descriptor level array (root of a 5-level tree).

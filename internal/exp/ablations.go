@@ -256,6 +256,7 @@ func Experiments() []struct {
 		{"ablation-regs", func(o Options) error { return AblationRangeRegisters(o, "mc80") }},
 		{"ablation-5level", AblationFiveLevel},
 		{"ablation-multiproc", AblationMultiproc},
+		{"trace-asap", TraceReplay},
 	}
 }
 

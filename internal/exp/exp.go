@@ -41,6 +41,9 @@ type Options struct {
 	// Exp names the experiment currently attributing records; Run sets it
 	// from the experiment registry before dispatching.
 	Exp string
+	// Trace is the reference-trace file driving the trace-replay experiment
+	// (empty skips it with a note).
+	Trace string
 }
 
 // Default returns full-fidelity options writing to out.

@@ -109,6 +109,49 @@ func TestGoldenMultiproc(t *testing.T) {
 	}
 }
 
+// TestGoldenTraceReplay locks the trace-driven experiment end to end against
+// the checked-in capture: a canneal reference trace replayed across the ASAP
+// ablation grid, rendered text locked by golden. It also pins the emitted
+// records: every cell carries the trace digest in its identity and the
+// workload recorded in the trace header.
+func TestGoldenTraceReplay(t *testing.T) {
+	sim.ResetBuildCache()
+	var buf bytes.Buffer
+	o := testOptions(&buf)
+	o.Trace = filepath.Join("testdata", "canneal.trc.gz")
+	col := report.NewCollector()
+	o.Sink = col
+	if err := Run("trace-asap", o); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "trace.golden", buf.Bytes())
+
+	records := col.Records()
+	if len(records) != 5 { // baseline + {P1, P1+P2} × {0%, 20%} holes
+		t.Fatalf("%d records", len(records))
+	}
+	for _, r := range records {
+		if !strings.Contains(r.Cell, "+trace[") {
+			t.Fatalf("record cell %q lacks the trace marker", r.Cell)
+		}
+		if r.Workload != "canneal" {
+			t.Fatalf("record workload %q", r.Workload)
+		}
+	}
+}
+
+// TestTraceReplaySkipsWithoutTrace keeps `paperrepro -exp all` working with
+// no trace configured: the experiment notes the skip and succeeds.
+func TestTraceReplaySkipsWithoutTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("trace-asap", testOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no trace file configured") {
+		t.Fatalf("skip note missing:\n%s", buf.String())
+	}
+}
+
 // TestGoldenJSONSchema locks the JSON record schema: every key column and
 // every metric column present, nothing unexpected.
 func TestGoldenJSONSchema(t *testing.T) {

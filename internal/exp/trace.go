@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// TraceReplay is the trace-driven experiment: it loads a captured reference
+// trace (Options.Trace) and runs it across the native ASAP ablation grid —
+// prefetch configurations × sorted-region hole probabilities — the way the
+// paper's evaluation swept its application traces. With no trace configured
+// it explains how to get one and succeeds, so `paperrepro -exp all` works
+// out of the box.
+func TraceReplay(o Options) error {
+	if o.Trace == "" {
+		o.printf("Trace replay: no trace file configured (-trace FILE; capture one with `asaptrace record`)\n\n")
+		return nil
+	}
+	tr, err := trace.LoadFile(o.Trace)
+	if err != nil {
+		return err
+	}
+	base := sim.UseTrace(tr)
+
+	configs := []sim.ASAPConfig{{}, cfgP1, cfgP1P2}
+	// Holes only matter once sorted regions exist, so the baseline runs the
+	// grid's single hole-free cell.
+	holesFor := func(cfg sim.ASAPConfig) []float64 {
+		if !cfg.Enabled() {
+			return []float64{0}
+		}
+		return []float64{0, 0.2}
+	}
+	cell := func(cfg sim.ASAPConfig, holes float64) (sim.Scenario, Options) {
+		sc := base
+		sc.ASAP = cfg
+		p := o
+		p.Params.HoleProb = holes
+		// A non-colocated trace replay is seed-independent — the stream is
+		// replayed verbatim and the assembly salts derive from the spec — so
+		// extra repeats would be N identical simulations dressed up as
+		// run-to-run samples. Run each cell once regardless of -repeats.
+		p.Repeats = 1
+		return sc, p
+	}
+	for _, cfg := range configs {
+		for _, holes := range holesFor(cfg) {
+			sc, p := cell(cfg, holes)
+			p.prefetch(sc)
+		}
+	}
+
+	o.printf("Trace replay: %s — %d refs, digest %s, workload %s\n\n",
+		o.Trace, tr.Count, tr.Digest, tr.Header.Spec.Name)
+	tb := stats.NewTable("ASAP config", "holes", "avg walk latency", "reduction", "TLB MPKI", "range hits", "coverage")
+	var baseline *cellResult
+	short := false
+	for _, cfg := range configs {
+		for _, holes := range holesFor(cfg) {
+			sc, p := cell(cfg, holes)
+			r, err := p.run(sc)
+			if err != nil {
+				return err
+			}
+			if baseline == nil {
+				baseline = r
+				if r.Walks == 0 {
+					// The trace ran dry before warmup completed: there is no
+					// measured window to tabulate.
+					o.printf("trace too short for the measurement protocol (%d refs, %d warmup walks requested); reduce -warmup/-measure or pass -fast\n\n",
+						tr.Count, p.Params.WarmupWalks)
+					return nil
+				}
+			}
+			if r.Walks < uint64(p.Params.MeasureWalks) {
+				short = true
+			}
+			coverage := 0.0
+			if r.PrefetchIssued > 0 {
+				coverage = float64(r.PrefetchCovered) / float64(r.PrefetchIssued)
+			}
+			tb.AddRow(cfg.String(), fmt.Sprintf("%.0f%%", 100*holes), r.lat(),
+				stats.Pct(1-r.AvgWalkLat/baseline.AvgWalkLat),
+				stats.F2(r.MPKI), stats.Pct(r.RangeHitRate), stats.Pct(coverage))
+		}
+	}
+	o.printf("%s", tb)
+	if short {
+		o.printf("\n(trace ran dry inside the measurement window; metrics cover the walks it contained)\n")
+	}
+	o.printf("\n")
+	return nil
+}

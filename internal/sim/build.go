@@ -122,6 +122,15 @@ func buildNative(spec workload.Spec, sorted, fiveLevel bool, holeProb float64, r
 	if err != nil {
 		return nil, err
 	}
+	return assembleNative(spec, layout, sorted, fiveLevel, holeProb, regCap)
+}
+
+// assembleNative realizes a native process over an already-built layout: page
+// tables, data placement and ASAP descriptors all derive deterministically
+// from (spec identity, layout), which is what lets a trace replay — whose
+// layout comes from the trace header rather than BuildLayout — assemble the
+// exact process image of its capture.
+func assembleNative(spec workload.Spec, layout *workload.Layout, sorted, fiveLevel bool, holeProb float64, regCap int) (*nativeAssembly, error) {
 	salt := rng.Mix64(hashName(spec.Name))
 	var alloc pt.Allocator = pt.NewScatterAlloc(ptScatterBase, ptScatterSpan, salt)
 	var descs []*core.Descriptor
@@ -145,12 +154,19 @@ func buildNative(spec workload.Spec, sorted, fiveLevel bool, holeProb float64, r
 		return nil, err
 	}
 	layout.Populate(table)
+	// FrameMap.Span must be a positive multiple of 8 (the clustered path
+	// groups frames 8 at a time). Real workloads sit far above the floor; it
+	// only matters for tiny hand-built trace layouts.
+	span := mem.NextPow2(layout.TotalResident * 5 / 4)
+	if span < 8 {
+		span = 8
+	}
 	return &nativeAssembly{
 		layout: layout,
 		table:  table,
 		frames: &workload.FrameMap{
 			Base:    dataBase,
-			Span:    mem.NextPow2(layout.TotalResident * 5 / 4),
+			Span:    span,
 			Contig8: spec.Contig8,
 			Salt:    salt ^ 2,
 		},

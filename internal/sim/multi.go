@@ -18,7 +18,7 @@ import (
 type mproc struct {
 	spec      workload.Spec
 	asm       *nativeAssembly
-	gen       *workload.Generator
+	src       refSource
 	neighbors tlb.NeighborFunc
 	data      *workload.CoRunner
 }
@@ -45,7 +45,7 @@ type mproc struct {
 // costs no simulated time (it happened concurrently with the quantum);
 // what it changes is where the incoming process's walks are served.
 func runMulti(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
-	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result) error {
+	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result, tap RefTap) error {
 	mix, err := workload.MixFor(sc.Workload, sc.Mix, p.Processes)
 	if err != nil {
 		return err
@@ -66,10 +66,14 @@ func runMulti(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 			seed = rng.Mix64(p.Seed + uint64(i)<<13)
 		}
 		layout, frames := asm.layout, asm.frames
+		src, err := tapped(genSource{workload.NewGenerator(spec, layout, seed)}, tap, i, spec, layout, seed)
+		if err != nil {
+			return err
+		}
 		procs[i] = &mproc{
 			spec: spec,
 			asm:  asm,
-			gen:  workload.NewGenerator(spec, layout, seed),
+			src:  src,
 			neighbors: func(vpn uint64) (uint64, bool) {
 				if !layout.PresentVPN(vpn) {
 					return 0, false
@@ -135,7 +139,10 @@ func runMulti(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 			}
 		}
 		sliceRefs++
-		va := cur.gen.Next()
+		va, ok := cur.src.Next()
+		if !ok {
+			break
+		}
 		pfn := uint64(cur.asm.frames.Frame(va.VPN()))
 		refCycles := cur.spec.DataStallCycles + cur.spec.InstrPerRef*p.CPIBase
 		if !tl.LookupVA(va, pfn, cur.neighbors) {
@@ -157,6 +164,11 @@ func runMulti(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 		if measuring {
 			measure.accessOf(cur.spec)
 		}
+	}
+	if !measuring {
+		// MaxRefs (or a replayed stream) ran out before warmup completed:
+		// report an empty window, not warmup-contaminated cumulative counters.
+		measure.begin(tl, engine, nil, mshr)
 	}
 	measure.finish(res, tl, engine, nil, mshr)
 	return nil

@@ -172,6 +172,15 @@ type Scenario struct {
 	// string keeps Scenario flat and comparable, so mix cells memoize like
 	// any other.
 	Mix string
+	// Trace, when non-empty, is the content digest of a registered reference
+	// trace (see UseTrace) that drives the run in place of the synthetic
+	// generator: the page tables, VMA sets and ASAP candidate sets are
+	// rebuilt from the trace header's recorded layout, and the reference
+	// stream is replayed verbatim. The digest identifies the trace's content,
+	// so trace cells memoize and report like any other. Trace-driven runs are
+	// native and single-process; Workload must be the trace header's spec
+	// (UseTrace returns a correctly formed Scenario).
+	Trace string
 }
 
 // CellKey is the stable, comparable identity of one simulation cell. Unlike
@@ -210,6 +219,9 @@ func (s Scenario) Name() string {
 	}
 	if s.Mix != "" {
 		n += "+mix[" + s.Mix + "]"
+	}
+	if s.Trace != "" {
+		n += "+trace[" + s.Trace + "]"
 	}
 	return n + "/" + s.ASAP.String()
 }

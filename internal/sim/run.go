@@ -57,8 +57,64 @@ type Result struct {
 	ShootdownFlushes uint64
 }
 
+// refSource produces the reference stream that drives a run. ok reports
+// whether a reference was produced: synthetic generators never end, but a
+// replayed trace turns false when it runs dry, which ends the run.
+type refSource interface {
+	Next() (va mem.VirtAddr, ok bool)
+}
+
+// genSource adapts the endless synthetic generator to the source contract.
+type genSource struct{ g *workload.Generator }
+
+func (s genSource) Next() (mem.VirtAddr, bool) { return s.g.Next(), true }
+
+// RefTap observes the reference stream of a run, process by process — the
+// recorder hook behind trace capture. The simulator announces each process
+// (its spec, realized layout and generator seed) before that process's first
+// reference; every reference then flows through Ref in execution order.
+// trace.Recorder implements this interface.
+type RefTap interface {
+	BeginProcess(pid int, spec workload.Spec, layout *workload.Layout, seed uint64) error
+	Ref(pid int, va mem.VirtAddr)
+}
+
+// tapSource forwards a source's references to the tap as they are consumed.
+type tapSource struct {
+	src refSource
+	tap RefTap
+	pid int
+}
+
+func (t tapSource) Next() (mem.VirtAddr, bool) {
+	va, ok := t.src.Next()
+	if ok {
+		t.tap.Ref(t.pid, va)
+	}
+	return va, ok
+}
+
+// tapped announces a process to the tap (when one is attached) and wraps its
+// source so every consumed reference is observed.
+func tapped(src refSource, tap RefTap, pid int, spec workload.Spec, layout *workload.Layout, seed uint64) (refSource, error) {
+	if tap == nil {
+		return src, nil
+	}
+	if err := tap.BeginProcess(pid, spec, layout, seed); err != nil {
+		return nil, err
+	}
+	return tapSource{src: src, tap: tap, pid: pid}, nil
+}
+
 // Run simulates one scenario cell and returns its metrics.
 func Run(sc Scenario, p Params) (*Result, error) {
+	return RunTapped(sc, p, nil)
+}
+
+// RunTapped simulates one scenario cell with an optional reference tap
+// observing the reference stream (nil behaves exactly like Run — the tap is
+// pure observation and never perturbs the simulation).
+func RunTapped(sc Scenario, p Params, tap RefTap) (*Result, error) {
 	h := cache.NewHierarchy(p.Cache)
 	tl := tlb.NewTwoLevel(sc.ClusteredTLB)
 	mshr := cache.NewMSHRFile(p.MSHRs)
@@ -69,16 +125,19 @@ func Run(sc Scenario, p Params) (*Result, error) {
 		co = workload.NewCoRunner(coRunnerBase.Addr(), coRunnerSpan*mem.PageSize, p.Seed^0xc0)
 	}
 
+	if sc.Trace != "" && (sc.Virtualized || p.Processes > 1) {
+		return res, fmt.Errorf("sim: trace replay is native and single-process (scenario %s)", sc.Name())
+	}
 	if p.Processes > 1 {
 		if sc.Virtualized {
 			return res, fmt.Errorf("sim: multi-process scheduling is native-only (Processes=%d with Virtualized)", p.Processes)
 		}
-		return res, runMulti(sc, p, h, tl, mshr, co, res)
+		return res, runMulti(sc, p, h, tl, mshr, co, res, tap)
 	}
 	if sc.Virtualized {
-		return res, runVirt(sc, p, h, tl, mshr, co, res)
+		return res, runVirt(sc, p, h, tl, mshr, co, res, tap)
 	}
-	return res, runNative(sc, p, h, tl, mshr, co, res)
+	return res, runNative(sc, p, h, tl, mshr, co, res, tap)
 }
 
 // engineFor loads descriptors into a fresh range-register file, or returns
@@ -95,14 +154,31 @@ func engineFor(cfg core.Config, descs []*core.Descriptor, capacity int) *core.En
 }
 
 func runNative(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
-	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result) error {
-	asm, err := nativeFor(sc.Workload, sc.ASAP.Native.Enabled(), p)
+	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result, tap RefTap) error {
+	var asm *nativeAssembly
+	var src refSource
+	if sc.Trace != "" {
+		tr, err := traceByDigest(sc.Trace)
+		if err != nil {
+			return err
+		}
+		if asm, err = traceNativeFor(tr, sc.ASAP.Native.Enabled(), p); err != nil {
+			return err
+		}
+		src = tr.Replay()
+	} else {
+		var err error
+		if asm, err = nativeFor(sc.Workload, sc.ASAP.Native.Enabled(), p); err != nil {
+			return err
+		}
+		src = genSource{workload.NewGenerator(sc.Workload, asm.layout, p.Seed)}
+	}
+	src, err := tapped(src, tap, 0, sc.Workload, asm.layout, p.Seed)
 	if err != nil {
 		return err
 	}
 	engine := engineFor(sc.ASAP.Native, asm.descs, p.RangeRegisters)
 	w := &walker.Walker{H: h, PWC: pwc.New(p.PWC), ASAP: engine, MSHR: mshr}
-	gen := workload.NewGenerator(sc.Workload, asm.layout, p.Seed)
 
 	neighbors := func(vpn uint64) (uint64, bool) {
 		if !asm.layout.PresentVPN(vpn) {
@@ -125,7 +201,10 @@ func runNative(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 		if measuring && int(measure.walks) >= p.MeasureWalks {
 			break
 		}
-		va := gen.Next()
+		va, ok := src.Next()
+		if !ok {
+			break // the replayed trace ran dry
+		}
 		pfn := uint64(asm.frames.Frame(va.VPN()))
 		refCycles := sc.Workload.DataStallCycles + sc.Workload.InstrPerRef*p.CPIBase
 		if !tl.LookupVA(va, pfn, neighbors) {
@@ -152,12 +231,18 @@ func runNative(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 			measure.access()
 		}
 	}
+	if !measuring {
+		// The stream ended (a short trace, or MaxRefs) before warmup
+		// completed: report a clean empty window rather than folding warmup
+		// into the measurements.
+		measure.begin(tl, engine, nil, mshr)
+	}
 	measure.finish(res, tl, engine, nil, mshr)
 	return nil
 }
 
 func runVirt(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
-	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result) error {
+	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result, tap RefTap) error {
 	asm, err := virtFor(sc.Workload, sc.ASAP.Guest.Enabled(), sc.ASAP.Host.Enabled(), sc.HostHugePages, p)
 	if err != nil {
 		return err
@@ -173,7 +258,11 @@ func runVirt(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 		HostPT:    asm.ept,
 		Translate: asm.gmap.Translate,
 	}
-	gen := workload.NewGenerator(sc.Workload, asm.layout, p.Seed)
+	src, err := tapped(genSource{workload.NewGenerator(sc.Workload, asm.layout, p.Seed)},
+		tap, 0, sc.Workload, asm.layout, p.Seed)
+	if err != nil {
+		return err
+	}
 
 	var wr walker.Result
 	var now int64
@@ -189,7 +278,10 @@ func runVirt(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 		if measuring && int(measure.walks) >= p.MeasureWalks {
 			break
 		}
-		va := gen.Next()
+		va, ok := src.Next()
+		if !ok {
+			break
+		}
 		gpa := asm.dataGPA(va)
 		maddr := asm.gmap.Translate(gpa)
 		refCycles := sc.Workload.DataStallCycles + sc.Workload.InstrPerRef*p.CPIBase
@@ -212,6 +304,9 @@ func runVirt(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 		if measuring {
 			measure.access()
 		}
+	}
+	if !measuring {
+		measure.begin(tl, w.GuestASAP, w.HostASAP, mshr)
 	}
 	measure.finish(res, tl, w.GuestASAP, w.HostASAP, mshr)
 	return nil

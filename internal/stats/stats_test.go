@@ -49,9 +49,39 @@ func TestSummarize(t *testing.T) {
 	if diff := s.Std - want; diff > 1e-12 || diff < -1e-12 {
 		t.Fatalf("std = %v, want %v", s.Std, want)
 	}
-	wantCI := 1.96 * want / 2
+	// Four samples → 3 degrees of freedom → t = 3.182, not the normal 1.96.
+	wantCI := 3.182 * want / 2
 	if diff := s.CI95 - wantCI; diff > 1e-12 || diff < -1e-12 {
 		t.Fatalf("ci95 = %v, want %v", s.CI95, wantCI)
+	}
+}
+
+func TestCritT95(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{2, 12.706}, // the normal value would understate this 6.5×
+		{3, 4.303},
+		{5, 2.776},
+		{29, 2.048},
+		{30, 1.96},
+		{1000, 1.96},
+		{1, 1.96}, // degenerate: CI95 is 0 anyway below two samples
+	}
+	for _, c := range cases {
+		if got := CritT95(c.n); got != c.want {
+			t.Fatalf("CritT95(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+	// The table must be monotonically decreasing toward the normal value.
+	for n := 3; n < 30; n++ {
+		if CritT95(n) >= CritT95(n-1) {
+			t.Fatalf("CritT95 not decreasing at n=%d", n)
+		}
+	}
+	if CritT95(29) <= 1.96 {
+		t.Fatal("t value fell below the normal limit")
 	}
 }
 

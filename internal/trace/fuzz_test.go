@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// FuzzTraceDecode feeds arbitrary bytes to the full decode surface: Load (and
+// the layout reconstruction a replay would perform on the decoded header)
+// must return clean errors on malformed input — never panic, and never
+// allocate proportionally to a length field the input merely claims.
+func FuzzTraceDecode(f *testing.F) {
+	// Seed with a valid raw and gzip trace plus assorted corruptions.
+	spec, _ := workload.ByName("mcf")
+	layout, err := workload.BuildLayout(spec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := Header{Spec: spec, Seed: 1, Areas: layout.Areas()}
+	r := rand.New(rand.NewSource(1))
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, h, compress)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, va := range randomStream(r, 64) {
+			w.Add(va)
+		}
+		w.Close()
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2])
+	}
+	f.Add([]byte(magic))
+	f.Add([]byte("ASAPTRC\x01\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A trace that decodes must also replay and summarize cleanly, and
+		// its header must either build a layout or reject it with an error.
+		rep := tr.Replay()
+		var n uint64
+		for {
+			if _, ok := rep.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != tr.Count {
+			t.Fatalf("replay yielded %d refs, Load counted %d", n, tr.Count)
+		}
+		if tr.Count < 1<<16 {
+			tr.Info()
+		}
+		_, _ = workload.LayoutFromAreas(tr.Header.Areas)
+	})
+}

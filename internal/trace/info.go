@@ -1,0 +1,83 @@
+package trace
+
+import "sort"
+
+// Info summarizes a trace's page-level behaviour: footprint and the reuse-
+// distance distribution that predicts how it will stress a TLB of a given
+// reach.
+type Info struct {
+	Count       uint64 // references
+	UniquePages uint64 // distinct 4K pages touched (footprint)
+	// ReuseP50 and ReuseP90 are percentiles of the page reuse distance: for
+	// each re-touch of a page, the number of distinct pages touched since its
+	// previous touch (the classic LRU stack distance at page granularity). A
+	// fully-associative TLB of R entries hits a re-touch iff its distance is
+	// below R. ColdRefs counts first touches, which no TLB can hit.
+	ReuseP50 uint64
+	ReuseP90 uint64
+	ColdRefs uint64
+}
+
+// fenwick is a binary indexed tree over stream positions, counting how many
+// "last touch" marks lie in a prefix.
+type fenwick struct {
+	t []uint32
+}
+
+func newFenwick(n uint64) *fenwick { return &fenwick{t: make([]uint32, n+1)} }
+
+func (f *fenwick) add(i uint64, d uint32) {
+	for ; i < uint64(len(f.t)); i += i & (-i) {
+		f.t[i] += d
+	}
+}
+
+func (f *fenwick) prefix(i uint64) uint64 {
+	var s uint64
+	for ; i > 0; i -= i & (-i) {
+		s += uint64(f.t[i])
+	}
+	return s
+}
+
+// Info scans the trace once and computes the summary. Memory is O(references)
+// for the distance tree — fine for an analysis CLI, deliberately not part of
+// the replay path, which stays O(1).
+func (t *Trace) Info() Info {
+	info := Info{Count: t.Count}
+	if t.Count == 0 {
+		return info
+	}
+	// Maintain a mark at each page's latest touch position; the reuse
+	// distance of a re-touch at position i (of a page last touched at j) is
+	// the number of marks strictly between j and i — exactly the distinct
+	// pages touched since.
+	last := make(map[uint64]uint64, 1024)
+	bit := newFenwick(t.Count)
+	distances := make([]uint64, 0, t.Count/2)
+	rep := t.Replay()
+	var pos uint64
+	for {
+		va, ok := rep.Next()
+		if !ok {
+			break
+		}
+		pos++
+		page := va.VPN()
+		if j, seen := last[page]; seen {
+			distances = append(distances, bit.prefix(pos-1)-bit.prefix(j))
+			bit.add(j, ^uint32(0)) // -1: the page's mark moves to pos
+		} else {
+			info.ColdRefs++
+		}
+		bit.add(pos, 1)
+		last[page] = pos
+	}
+	info.UniquePages = uint64(len(last))
+	if len(distances) > 0 {
+		sort.Slice(distances, func(i, j int) bool { return distances[i] < distances[j] })
+		info.ReuseP50 = distances[len(distances)/2]
+		info.ReuseP90 = distances[len(distances)*9/10]
+	}
+	return info
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Recorder captures reference streams as trace files: it implements the
+// simulator's reference tap (sim.RefTap) by opening one Writer per observed
+// process, so a multi-process run produces one trace per process. The open
+// callback maps a process index to its destination; Close flushes every
+// writer and closes the destinations.
+type Recorder struct {
+	open     func(pid int) (io.WriteCloser, error)
+	compress bool
+
+	ws     map[int]*Writer
+	sinks  map[int]io.WriteCloser
+	headed map[int]Header
+	err    error
+}
+
+// NewRecorder returns a Recorder writing each process's trace to the
+// destination open returns for it, gzip-framed when compress is set.
+func NewRecorder(open func(pid int) (io.WriteCloser, error), compress bool) *Recorder {
+	return &Recorder{
+		open:     open,
+		compress: compress,
+		ws:       map[int]*Writer{},
+		sinks:    map[int]io.WriteCloser{},
+		headed:   map[int]Header{},
+	}
+}
+
+// BeginProcess opens the trace for process pid and writes its header. The
+// simulator announces every process before its first reference.
+func (r *Recorder) BeginProcess(pid int, spec workload.Spec, layout *workload.Layout, seed uint64) error {
+	if _, ok := r.ws[pid]; ok {
+		return fmt.Errorf("trace: process %d announced twice", pid)
+	}
+	sink, err := r.open(pid)
+	if err != nil {
+		r.err = err
+		return err
+	}
+	h := Header{Spec: spec, Seed: seed, Areas: layout.Areas()}
+	w, err := NewWriter(sink, h, r.compress)
+	if err != nil {
+		sink.Close()
+		r.err = err
+		return err
+	}
+	r.ws[pid] = w
+	r.sinks[pid] = sink
+	r.headed[pid] = h
+	return nil
+}
+
+// Ref appends one reference to process pid's trace. Write errors are held
+// until Close so the hot simulation loop stays error-free.
+func (r *Recorder) Ref(pid int, va mem.VirtAddr) {
+	if w, ok := r.ws[pid]; ok {
+		if err := w.Add(va); err != nil && r.err == nil {
+			r.err = err
+		}
+	} else if r.err == nil {
+		r.err = fmt.Errorf("trace: reference for unannounced process %d", pid)
+	}
+}
+
+// Capture describes one finished per-process trace.
+type Capture struct {
+	PID    int
+	Spec   workload.Spec
+	Count  uint64
+	Digest string
+}
+
+// Close flushes and closes every per-process trace and returns the first
+// error encountered anywhere in the capture.
+func (r *Recorder) Close() error {
+	for _, pid := range r.pids() {
+		if err := r.ws[pid].Close(); err != nil && r.err == nil {
+			r.err = err
+		}
+		if err := r.sinks[pid].Close(); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+	return r.err
+}
+
+// Captures summarizes the recorded processes in pid order (valid after
+// Close).
+func (r *Recorder) Captures() []Capture {
+	out := make([]Capture, 0, len(r.ws))
+	for _, pid := range r.pids() {
+		w := r.ws[pid]
+		out = append(out, Capture{PID: pid, Spec: r.headed[pid].Spec, Count: w.Count(), Digest: w.Digest()})
+	}
+	return out
+}
+
+func (r *Recorder) pids() []int {
+	pids := make([]int, 0, len(r.ws))
+	for pid := range r.ws {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	return pids
+}

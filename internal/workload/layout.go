@@ -121,6 +121,104 @@ func BuildLayout(spec Spec) (*Layout, error) {
 	return l, nil
 }
 
+// AreaSpec is the serializable description of one VMA of a Layout — the form
+// a reference-trace header records so a replay can reconstruct the capture's
+// address space exactly. Big areas keep their dense-resident-prefix plus
+// sparse-tail geometry; small areas are dense (Resident == Pages).
+type AreaSpec struct {
+	Start    mem.VirtAddr
+	Pages    uint64 // total span in pages
+	Resident uint64 // dense resident prefix in pages
+	Kind     vma.Kind
+	Big      bool
+	Name     string
+}
+
+// Areas exports the layout in trace-header form: big areas first, then small
+// areas, each in layout order.
+func (l *Layout) Areas() []AreaSpec {
+	out := make([]AreaSpec, 0, len(l.Big)+len(l.Small))
+	for i, a := range l.Big {
+		out = append(out, AreaSpec{
+			Start: a.Start, Pages: l.Span[i], Resident: l.Resident[i],
+			Kind: a.Kind, Big: true, Name: a.Name,
+		})
+	}
+	for _, a := range l.Small {
+		out = append(out, AreaSpec{
+			Start: a.Start, Pages: a.Pages(), Resident: a.Pages(),
+			Kind: a.Kind, Name: a.Name,
+		})
+	}
+	return out
+}
+
+// Caps on a reconstructed layout, sized an order of magnitude above the
+// largest real workload (mc400 spans ~2^27 pages, ~2^26.6 of them resident).
+// They bound the work replay assembly performs — Populate iterates resident
+// pages and one sparse-tail node per 512 span pages; FrameMap sizes off
+// TotalResident — so an untrusted trace header cannot make assembly iterate
+// or allocate without bound, and they keep Pages*PageSize overflow-free.
+const (
+	maxLayoutSpanPages     = uint64(1) << 32 // 16 TiB of VA span, cumulative
+	maxLayoutResidentPages = uint64(1) << 30 // 4 TiB resident, cumulative
+)
+
+// LayoutFromAreas reconstructs a Layout from its exported area list. The
+// reconstruction is exact: BuildLayout(spec).Areas() round-trips to an
+// equivalent Layout, which is what lets a replayed trace assemble the same
+// page tables, VMA sets and prefetch-candidate sets as its capture. Malformed
+// area lists (overlaps, empty or absurd spans, residency exceeding the span)
+// return errors rather than panicking, so untrusted trace files fail cleanly.
+func LayoutFromAreas(areas []AreaSpec) (*Layout, error) {
+	l := &Layout{Space: vma.NewSpace()}
+	var spanTotal, residentTotal uint64
+	for i, a := range areas {
+		if a.Pages == 0 {
+			return nil, fmt.Errorf("workload: area %d (%s) has no pages", i, a.Name)
+		}
+		spanTotal += a.Pages
+		residentTotal += a.Resident
+		if a.Pages > maxLayoutSpanPages || spanTotal > maxLayoutSpanPages {
+			return nil, fmt.Errorf("workload: layout spans more than the %d-page cap at area %d (%s)", maxLayoutSpanPages, i, a.Name)
+		}
+		if residentTotal > maxLayoutResidentPages {
+			return nil, fmt.Errorf("workload: layout exceeds the %d-resident-page cap at area %d (%s)", maxLayoutResidentPages, i, a.Name)
+		}
+		if a.Resident > a.Pages {
+			return nil, fmt.Errorf("workload: area %d (%s) resident %d exceeds span %d", i, a.Name, a.Resident, a.Pages)
+		}
+		end := a.Start + mem.VirtAddr(a.Pages*mem.PageSize)
+		if end <= a.Start {
+			return nil, fmt.Errorf("workload: area %d (%s) span overflows the address space", i, a.Name)
+		}
+		v := &vma.VMA{Start: a.Start, End: end, Name: a.Name, Kind: a.Kind}
+		if err := l.Space.Insert(v); err != nil {
+			return nil, err
+		}
+		if a.Big {
+			if a.Resident == 0 {
+				return nil, fmt.Errorf("workload: big area %d (%s) has no resident pages", i, a.Name)
+			}
+			l.Big = append(l.Big, v)
+			l.Resident = append(l.Resident, a.Resident)
+			l.Span = append(l.Span, a.Pages)
+			l.TotalResident += a.Resident
+			l.cumResident = append(l.cumResident, l.TotalResident)
+		} else {
+			if a.Resident != a.Pages {
+				return nil, fmt.Errorf("workload: small area %d (%s) must be dense (%d/%d)", i, a.Name, a.Resident, a.Pages)
+			}
+			l.Small = append(l.Small, v)
+			l.SmallPages += a.Pages
+		}
+	}
+	if len(l.Big) == 0 {
+		return nil, fmt.Errorf("workload: layout needs at least one big area")
+	}
+	return l, nil
+}
+
 // PageVA returns the virtual address (page-aligned) of the i-th dense
 // resident dataset page, i in [0, TotalResident).
 func (l *Layout) PageVA(i uint64) mem.VirtAddr {

@@ -34,7 +34,8 @@ func MixFor(primary Spec, names string, n int) (Mix, error) {
 		for _, nm := range strings.Split(trimmed, ",") {
 			s, ok := ByName(strings.TrimSpace(nm))
 			if !ok {
-				return Mix{}, fmt.Errorf("workload: unknown mix workload %q", strings.TrimSpace(nm))
+				return Mix{}, fmt.Errorf("workload: unknown mix workload %q (have %s)",
+					strings.TrimSpace(nm), strings.Join(Names(), ", "))
 			}
 			pool = append(pool, s)
 		}

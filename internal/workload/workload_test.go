@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -293,6 +294,8 @@ func TestMixFor(t *testing.T) {
 	}
 	if _, err := MixFor(mcf, "nosuch", 2); err == nil {
 		t.Fatal("unknown mix workload accepted")
+	} else if !strings.Contains(err.Error(), strings.Join(Names(), ", ")) {
+		t.Fatalf("unknown-workload error does not list valid names: %v", err)
 	}
 	if _, err := MixFor(mcf, "", 0); err == nil {
 		t.Fatal("empty mix accepted")
