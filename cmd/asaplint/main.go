@@ -1,0 +1,85 @@
+// asaplint is the repository's invariant linter: a multichecker running the
+// repo-specific analyzers (meterwindow, keycomplete, determinism, seededrand)
+// alongside curated stock passes (nilness, unusedresult, copylocks, shadow).
+//
+// Usage:
+//
+//	go run ./cmd/asaplint ./...          # lint the whole module (CI does this)
+//	go run ./cmd/asaplint -only determinism,seededrand ./internal/sim
+//	go run ./cmd/asaplint -list          # describe every analyzer
+//
+// Diagnostics print as file:line:col: [analyzer] message; any diagnostic
+// makes the process exit 1. Suppress a finding — with a written reason — via
+// //lint:ignore <analyzer> <why> (or //lint:ordered <why> for map-iteration
+// findings) on the offending line or the line above. See README "Invariants
+// & linting".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/suite"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := suite.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var selected []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				selected = append(selected, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "asaplint: unknown analyzer %q (see -list)\n", name)
+			os.Exit(2)
+		}
+		analyzers = selected
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asaplint:", err)
+		os.Exit(2)
+	}
+	prog, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asaplint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asaplint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", d.Position, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "asaplint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,124 @@
+// Package analysis is a self-contained reimplementation of the core of
+// golang.org/x/tools/go/analysis, sized for this repository's lint suite.
+//
+// The repository is intentionally dependency-free (go.mod lists nothing), so
+// the real x/tools module is off the table; this package mirrors its shape —
+// an Analyzer with a Run(*Pass) hook reporting Diagnostics over type-checked
+// syntax — closely enough that migrating the suite onto the real library is a
+// mechanical import swap. Package loading (see Load) shells out to the go
+// tool: target packages are parsed and type-checked from source, their
+// dependencies are imported from compiler export data, so analyzers see the
+// exact types the compiler does.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one analysis pass: a named invariant checker that
+// inspects a type-checked package and reports diagnostics.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression comments
+	// (//lint:ignore <Name> <justification>). It must be a valid identifier.
+	Name string
+
+	// Doc is the one-paragraph description printed by asaplint -help.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one target package to an analyzer, together with the
+// whole-program view cross-package analyzers need.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Program is the full set of target packages loaded for this run, in
+	// dependency order. Analyzers that resolve references across package
+	// boundaries (keycomplete) consult it; per-package analyzers ignore it.
+	Program *Program
+
+	diagnostics *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diagnostics = append(*p.diagnostics, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Position token.Position
+	Message  string
+}
+
+// A Package is one type-checked target package.
+type Package struct {
+	PkgPath string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// A Program is the set of target packages under analysis, dependencies before
+// dependents. All packages share one FileSet, and references between target
+// packages resolve to the same types.Object identities, so a declaration in
+// one package can be matched against uses in another.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Run applies every analyzer to every target package of prog and returns the
+// surviving diagnostics sorted by position, with suppressed diagnostics (see
+// //lint:ignore in run.go) filtered out.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:    a,
+				Fset:        prog.Fset,
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				TypesInfo:   pkg.Info,
+				Program:     prog,
+				diagnostics: &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	diags = filterSuppressed(prog, diags)
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

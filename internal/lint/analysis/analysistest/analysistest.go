@@ -1,0 +1,131 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against // want comments, mirroring the x/tools package of
+// the same name.
+//
+// Fixtures live in testdata/src/<name>/ next to the test (directories named
+// testdata are invisible to the go tool, so fixtures never build with the
+// repository). A line expecting diagnostics carries a trailing comment:
+//
+//	res.Dropped = mshr.Dropped() // want `without a measured-window baseline`
+//
+// Each quoted or backquoted string is a regexp that must match a distinct
+// diagnostic reported on that line; diagnostics with no matching want — and
+// wants with no matching diagnostic — fail the test.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// wantRE extracts the expectation strings of a want comment.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads testdata/src/<fixture> as one package, applies the analyzer, and
+// reports every mismatch between its diagnostics and the fixture's // want
+// comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", fixture, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s: no Go files", fixture)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := analysis.LoadFiles(cwd, fixture, files)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", fixture, err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("fixture %s: %v", fixture, err)
+	}
+
+	expects := collectWants(t, prog)
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if !e.hit && e.file == d.Position.Filename && e.line == d.Position.Line && e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", d.Position, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// collectWants parses every // want comment of the fixture.
+func collectWants(t *testing.T, prog *analysis.Program) []*expectation {
+	t.Helper()
+	var expects []*expectation
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(strings.TrimPrefix(c.Text, "//"), " want ")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, q := range wantRE.FindAllString(rest, -1) {
+						pattern := q
+						if pattern[0] == '`' {
+							pattern = pattern[1 : len(pattern)-1]
+						} else if s, err := strconv.Unquote(pattern); err == nil {
+							pattern = s
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pattern, err)
+						}
+						expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	sort.SliceStable(expects, func(i, j int) bool {
+		if expects[i].file != expects[j].file {
+			return expects[i].file < expects[j].file
+		}
+		return expects[i].line < expects[j].line
+	})
+	return expects
+}

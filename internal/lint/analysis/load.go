@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Fset is the process-wide file set. Every load in the process shares it so
+// that one export-data importer instance (whose cache is keyed on it) serves
+// all loads, and positions from different loads never collide.
+var Fset = token.NewFileSet()
+
+var (
+	exportMu sync.Mutex
+	// exportFiles maps an import path to its compiler export-data file, as
+	// reported by go list -export. The gc importer below reads these.
+	exportFiles = map[string]string{}
+	// imported caches dependency packages materialized from export data.
+	imported = map[string]*types.Package{}
+	gcImport = importer.ForCompiler(Fset, "gc", func(path string) (io.ReadCloser, error) {
+		exportMu.Lock()
+		file, ok := exportFiles[path]
+		exportMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data recorded for %q", path)
+		}
+		return os.Open(file)
+	})
+)
+
+// listedPackage is the subset of go list -json output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs go list -export -deps -json in dir over patterns and returns
+// the decoded packages, dependencies before dependents.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,DepOnly,GoFiles,Imports,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %v: %s: %s", patterns, p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// recordExports registers every listed package's export-data file.
+func recordExports(pkgs []*listedPackage) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// chainImporter resolves an import against the source-checked target packages
+// first (so references between targets share object identities), then falls
+// back to compiler export data.
+type chainImporter struct {
+	source map[string]*types.Package
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := c.source[path]; ok {
+		return pkg, nil
+	}
+	exportMu.Lock()
+	pkg, ok := imported[path]
+	exportMu.Unlock()
+	if ok {
+		return pkg, nil
+	}
+	pkg, err := gcImport.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	exportMu.Lock()
+	imported[path] = pkg
+	exportMu.Unlock()
+	return pkg, nil
+}
+
+// newInfo returns a types.Info with every map analyzers consult populated.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+func typesConfig(imp types.Importer) *types.Config {
+	return &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+}
+
+// checkPackage parses files and type-checks them as one package.
+func checkPackage(pkgPath string, dir string, fileNames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	tpkg, err := typesConfig(imp).Check(pkgPath, Fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{PkgPath: pkgPath, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load type-checks the packages matching patterns (resolved by the go tool in
+// dir) and returns them as a Program: each matched package is parsed from
+// source with full type information, while dependencies outside the match are
+// imported from compiler export data. Test files are not loaded — the suite's
+// invariants concern production code.
+func Load(dir string, patterns ...string) (*Program, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	recordExports(listed)
+	prog := &Program{Fset: Fset}
+	source := map[string]*types.Package{}
+	imp := &chainImporter{source: source}
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Name == "" || len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(lp.ImportPath, lp.Dir, lp.GoFiles, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
+		}
+		source[lp.ImportPath] = pkg.Types
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	if len(prog.Pkgs) == 0 {
+		return nil, fmt.Errorf("no packages matched %v", patterns)
+	}
+	return prog, nil
+}
+
+// LoadFiles type-checks one package assembled from the given source files
+// under the import path pkgPath, resolving its imports via export data. The
+// analysistest harness uses it to load testdata fixture packages, which the
+// go tool itself refuses to list. moduleDir anchors the go list invocations
+// that locate export data for the fixture's imports.
+func LoadFiles(moduleDir, pkgPath string, fileNames []string) (*Program, error) {
+	if err := ensureExports(moduleDir, fileNames); err != nil {
+		return nil, err
+	}
+	pkg, err := checkPackage(pkgPath, "", fileNames, &chainImporter{})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Fset: Fset, Pkgs: []*Package{pkg}}, nil
+}
+
+// ensureExports makes export data available for every package the given
+// files import (transitively).
+func ensureExports(moduleDir string, fileNames []string) error {
+	need := map[string]bool{}
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(token.NewFileSet(), name, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, spec := range f.Imports {
+			path := spec.Path.Value
+			path = path[1 : len(path)-1] // unquote
+			if path == "unsafe" {
+				continue
+			}
+			need[path] = true
+		}
+	}
+	var missing []string
+	exportMu.Lock()
+	for path := range need {
+		if _, ok := exportFiles[path]; !ok {
+			missing = append(missing, path)
+		}
+	}
+	exportMu.Unlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing) // deterministic go list invocation
+	listed, err := goList(moduleDir, missing)
+	if err != nil {
+		return err
+	}
+	recordExports(listed)
+	return nil
+}

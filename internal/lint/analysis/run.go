@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Suppression directives.
+//
+// A diagnostic can be silenced — with a written justification — by a comment
+// on the offending line or the line directly above it:
+//
+//	//lint:ignore <analyzer> <justification>   silence one analyzer here
+//	//lint:ordered <justification>             shorthand: this map iteration
+//	                                           is order-safe (silences the
+//	                                           determinism analyzer)
+//
+// A directive without a justification is itself a diagnostic: unexplained
+// suppressions are exactly the reviewer-vigilance failure the suite exists to
+// remove.
+
+// suppression is one parsed //lint:ignore or //lint:ordered directive.
+type suppression struct {
+	analyzer string // analyzer name to silence
+	line     int    // line the directive is written on
+	hasWhy   bool   // a justification was given
+}
+
+// collectSuppressions parses every //lint: directive in prog, returning them
+// keyed by filename, plus diagnostics for malformed directives.
+func collectSuppressions(prog *Program) (map[string][]suppression, []Diagnostic) {
+	byFile := map[string][]suppression{}
+	var bad []Diagnostic
+	malformed := func(pos Diagnostic) { bad = append(bad, pos) }
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(text)
+					if len(fields) == 0 {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					var s suppression
+					switch fields[0] {
+					case "ordered":
+						s = suppression{analyzer: "determinism", line: pos.Line, hasWhy: len(fields) > 1}
+					case "ignore":
+						if len(fields) < 2 {
+							malformed(Diagnostic{
+								Analyzer: "directive", Pos: c.Pos(), Position: pos,
+								Message: "malformed //lint:ignore: want //lint:ignore <analyzer> <justification>",
+							})
+							continue
+						}
+						s = suppression{analyzer: fields[1], line: pos.Line, hasWhy: len(fields) > 2}
+					default:
+						// Other //lint: directives (e.g. //lint:key) belong to
+						// individual analyzers.
+						continue
+					}
+					if !s.hasWhy {
+						malformed(Diagnostic{
+							Analyzer: "directive", Pos: c.Pos(), Position: pos,
+							Message: "suppression directive needs a justification: //lint:" + fields[0] + " ... <why>",
+						})
+						continue
+					}
+					byFile[pos.Filename] = append(byFile[pos.Filename], s)
+				}
+			}
+		}
+	}
+	return byFile, bad
+}
+
+// filterSuppressed drops diagnostics covered by a justified suppression
+// directive on the same line or the line above, and appends diagnostics for
+// malformed directives.
+func filterSuppressed(prog *Program, diags []Diagnostic) []Diagnostic {
+	byFile, bad := collectSuppressions(prog)
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, s := range byFile[d.Position.Filename] {
+			if s.analyzer != d.Analyzer {
+				continue
+			}
+			if s.line == d.Position.Line || s.line == d.Position.Line-1 {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return append(out, bad...)
+}

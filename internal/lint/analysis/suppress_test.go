@@ -1,0 +1,80 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/determinism"
+)
+
+// TestSuppression runs the determinism analyzer over the suppress fixture
+// and checks the directive semantics: a justified //lint:ignore or
+// //lint:ordered on the offending line or the line above silences the
+// finding; an unjustified or malformed directive silences nothing and is
+// itself a diagnostic; a directive naming a different analyzer does not
+// apply.
+func TestSuppression(t *testing.T) {
+	saved := determinism.Scope
+	determinism.Scope = nil
+	t.Cleanup(func() { determinism.Scope = saved })
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := filepath.Abs(filepath.Join("testdata", "src", "suppress", "suppress.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := analysis.LoadFiles(cwd, "suppress", []string{file})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{determinism.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var det, directive []analysis.Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "determinism":
+			det = append(det, d)
+		case "directive":
+			directive = append(directive, d)
+		default:
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d.Message)
+		}
+	}
+
+	// Exactly the Unjustified, WrongName and Malformed loops keep their
+	// findings; SameLine and LineAbove are silenced.
+	if len(det) != 3 {
+		t.Errorf("determinism findings = %d, want 3 (Unjustified, WrongName, Malformed):\n%s",
+			len(det), render(det))
+	}
+
+	// Both broken directives are flagged.
+	if len(directive) != 2 {
+		t.Fatalf("directive findings = %d, want 2:\n%s", len(directive), render(directive))
+	}
+	if !strings.Contains(directive[0].Message, "needs a justification") &&
+		!strings.Contains(directive[1].Message, "needs a justification") {
+		t.Errorf("no directive finding demands a justification:\n%s", render(directive))
+	}
+	if !strings.Contains(directive[0].Message, "malformed //lint:ignore") &&
+		!strings.Contains(directive[1].Message, "malformed //lint:ignore") {
+		t.Errorf("no directive finding reports the malformed //lint:ignore:\n%s", render(directive))
+	}
+}
+
+func render(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.Position.String() + ": [" + d.Analyzer + "] " + d.Message + "\n")
+	}
+	return b.String()
+}

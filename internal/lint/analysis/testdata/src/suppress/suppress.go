@@ -1,0 +1,46 @@
+// Package suppress exercises the framework's suppression directives against
+// the determinism analyzer's map-range finding.
+package suppress
+
+import "fmt"
+
+// SameLine carries a justified //lint:ignore on the offending line: silenced.
+func SameLine(m map[string]int) {
+	for k := range m { //lint:ignore determinism output order is irrelevant in this diagnostic helper
+		fmt.Println(k)
+	}
+}
+
+// LineAbove carries a justified //lint:ordered on the line above: silenced.
+func LineAbove(m map[string]int) {
+	//lint:ordered output order is irrelevant in this diagnostic helper
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// Unjustified omits the justification: the finding stays and the directive
+// itself is flagged.
+func Unjustified(m map[string]int) {
+	//lint:ordered
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// WrongName suppresses a different analyzer: the determinism finding stays.
+func WrongName(m map[string]int) {
+	//lint:ignore seededrand not the analyzer that fired
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// Malformed names no analyzer at all: flagged as a malformed directive, and
+// the finding stays.
+func Malformed(m map[string]int) {
+	//lint:ignore
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,234 @@
+// Package determinism enforces the simulator's bit-reproducibility contract
+// in the packages that produce or transform results: no wall-clock reads, no
+// global math/rand stream, and no map iteration whose order can leak into
+// output, accumulation or spawned work.
+//
+// The paper's evaluation — and this repository's golden tests, memoization
+// and trace replay — depend on a run being a pure function of (Scenario,
+// Params). time.Now and the process-global rand stream break that outright.
+// Map iteration breaks it subtly: ranging over a map is order-randomized per
+// run, so any loop that writes outside itself, calls anything, or spawns a
+// goroutine can smuggle that order into results. Loops that provably only
+// collect keys that are sorted before use are recognized and allowed; a loop
+// the analyzer cannot prove safe but a human can is annotated in place:
+//
+//	//lint:ordered <why the iteration order cannot matter>
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Scope limits the analyzer to the packages whose determinism the golden
+// tests and the memo cache rely on. Empty means every package (the
+// analysistest fixtures use that).
+var Scope = []string{
+	"repro/internal/sim",
+	"repro/internal/core",
+	"repro/internal/exp",
+	"repro/internal/report",
+	"repro/internal/runner",
+	"repro/internal/trace",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now, the global math/rand stream, and order-leaking map " +
+		"iteration in the simulation/reporting packages",
+	Run: run,
+}
+
+func inScope(path string) bool {
+	if len(Scope) == 0 {
+		return true
+	}
+	for _, p := range Scope {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			checkSelector(pass, e)
+		case *ast.RangeStmt:
+			checkRange(pass, fd, e)
+		}
+		return true
+	})
+}
+
+// checkSelector flags wall-clock reads and global math/rand functions.
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(sel.Pos(),
+				"time.Now is wall-clock state: results must be a pure function of (Scenario, Params); plumb an explicit clock or timestamp instead")
+		}
+	case "math/rand", "math/rand/v2":
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return // methods on an explicit *rand.Rand are fine
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return // constructors: seededrand checks their seeds
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s draws from the process-global random stream: construct a *rand.Rand (or rng.Stream) from an explicit seed instead",
+			fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// checkRange flags map iterations whose order can escape the loop.
+func checkRange(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if isSortedCollect(pass, fd, rs) {
+		return
+	}
+	if !hasEscapingEffect(pass, rs) {
+		return
+	}
+	pass.Reportf(rs.Pos(),
+		"map iteration order is randomized per run and this loop lets it escape (into output, accumulation, or spawned work): iterate sorted keys instead, or annotate with //lint:ordered <why>")
+}
+
+// isSortedCollect recognizes the collect-then-sort idiom: the loop body only
+// appends the key to a slice declared outside the loop, and the same slice
+// is later passed to a sort function in the same enclosing function.
+func isSortedCollect(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+		return false
+	}
+	dstObj := pass.TypesInfo.ObjectOf(dst)
+	if dstObj == nil || dstObj.Pos() > rs.Pos() {
+		return false
+	}
+	// Look for sort.X(dst, ...) / slices.Sort(dst) after the loop.
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && pass.TypesInfo.ObjectOf(arg) == dstObj {
+			sorted = true
+			return false
+		}
+		return true
+	})
+	return sorted
+}
+
+// hasEscapingEffect reports whether the loop body can carry iteration order
+// outside the loop: any call, send, go/defer, return, or write to a variable
+// declared outside the range statement.
+func hasEscapingEffect(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	escapes := false
+	writesOutside := func(e ast.Expr) bool {
+		for {
+			switch x := e.(type) {
+			case *ast.SelectorExpr:
+				e = x.X
+				continue
+			case *ast.IndexExpr:
+				e = x.X
+				continue
+			case *ast.StarExpr:
+				// Writing through any pointer escapes the loop.
+				return true
+			case *ast.Ident:
+				if x.Name == "_" {
+					return false
+				}
+				obj := pass.TypesInfo.ObjectOf(x)
+				return obj == nil || obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+			default:
+				return true
+			}
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr, *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt, *ast.ReturnStmt:
+			escapes = true
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				if writesOutside(lhs) {
+					escapes = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if writesOutside(e.X) {
+				escapes = true
+			}
+		}
+		return !escapes
+	})
+	return escapes
+}

@@ -1,0 +1,45 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/determinism"
+)
+
+// allPackages widens the analyzer's package scope to the fixture under test
+// and restores it afterwards.
+func allPackages(t *testing.T) {
+	t.Helper()
+	saved := determinism.Scope
+	determinism.Scope = nil
+	t.Cleanup(func() { determinism.Scope = saved })
+}
+
+// TestGood: sorted-collect, effect-free loops, justified //lint:ordered
+// annotations and explicit *rand.Rand streams all pass.
+func TestGood(t *testing.T) {
+	allPackages(t)
+	analysistest.Run(t, determinism.Analyzer, "good")
+}
+
+// TestBad: time.Now, the global rand stream, and order-leaking map ranges
+// (including an unsorted collect) are flagged.
+func TestBad(t *testing.T) {
+	allPackages(t)
+	analysistest.Run(t, determinism.Analyzer, "bad")
+}
+
+// TestScope pins the default scope to the packages whose determinism the
+// golden tests rely on; the simulator core must never silently drop out.
+func TestScope(t *testing.T) {
+	found := false
+	for _, p := range determinism.Scope {
+		if p == "repro/internal/sim" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("determinism.Scope no longer covers repro/internal/sim: %v", determinism.Scope)
+	}
+}

@@ -1,0 +1,32 @@
+// Package bad holds the three violation classes: wall-clock reads, the
+// process-global random stream, and map iterations whose order escapes into
+// output or accumulation.
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now is wall-clock state`
+}
+
+func Roll() int {
+	return rand.Intn(6) // want `rand.Intn draws from the process-global random stream`
+}
+
+func Emit(m map[string]int) {
+	for k, v := range m { // want `map iteration order is randomized per run and this loop lets it escape`
+		fmt.Println(k, v)
+	}
+}
+
+func Flatten(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is randomized per run and this loop lets it escape`
+		out = append(out, k)
+	}
+	return out // collected but never sorted: order leaks into the result
+}

@@ -1,0 +1,47 @@
+// Package good holds map iterations and randomness uses the determinism
+// analyzer must accept: the collect-then-sort idiom, an effect-free loop, a
+// justified //lint:ordered annotation on an order-commutative accumulation,
+// and methods on an explicitly seeded *rand.Rand.
+package good
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SortedKeys is the collect-then-sort idiom: recognized automatically, no
+// annotation needed.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Drop is an effect-free loop: nothing escapes the body, so iteration order
+// cannot matter.
+func Drop(m map[string]int) {
+	for k, v := range m {
+		_ = k
+		_ = v
+	}
+}
+
+// Total accumulates commutatively; the analyzer cannot prove that, so the
+// loop carries a justified annotation.
+func Total(m map[string]int) int {
+	total := 0
+	//lint:ordered addition is commutative, so the sum is order-independent
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Draw uses methods on an explicit, plumbed stream — only the process-global
+// stream is forbidden.
+func Draw(r *rand.Rand) int {
+	return r.Intn(6)
+}

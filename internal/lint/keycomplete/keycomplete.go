@@ -1,0 +1,252 @@
+// Package keycomplete checks that cell-identity structs stay in sync with
+// the functions that render their identity.
+//
+// The simulator memoizes on (Scenario, Params) and reports cells through
+// Scenario.Name() and the report package's params digest and CSV columns.
+// History shows that extending one of these structs without extending its
+// renderers silently merges distinct cells in logs, goldens and artifacts.
+// A struct opts in with a directive in its doc comment:
+//
+//	//lint:key ref=Name,Digest allow=Seed
+//
+// Every field of the struct must then be referenced by at least one of the
+// named identity functions, or appear on the allow list. An identity
+// function is resolved anywhere in the analyzed program: a method with that
+// name whose receiver is the struct, or any function with that name taking
+// the struct (or a pointer to it) as a parameter. A function that passes the
+// whole struct value to another call (e.g. fmt.Fprintf(h, "%+v", p)) counts
+// as referencing every field.
+package keycomplete
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "keycomplete",
+	Doc: "check that every field of a //lint:key struct is referenced by its " +
+		"identity functions (Scenario.Name, the params digest, CSV emission)",
+	Run: run,
+}
+
+// directive is one parsed //lint:key marker.
+type directive struct {
+	spec  *ast.TypeSpec
+	refs  []string
+	allow map[string]bool
+}
+
+func run(pass *analysis.Pass) error {
+	for _, d := range collectDirectives(pass) {
+		check(pass, d)
+	}
+	return nil
+}
+
+// collectDirectives finds //lint:key directives on struct type declarations
+// in the current package.
+func collectDirectives(pass *analysis.Pass) []directive {
+	var out []directive
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				text := directiveText(gd.Doc) + directiveText(ts.Doc) + directiveText(ts.Comment)
+				if text == "" {
+					continue
+				}
+				d := directive{spec: ts, allow: map[string]bool{}}
+				for _, field := range strings.Fields(text) {
+					if v, ok := strings.CutPrefix(field, "ref="); ok {
+						d.refs = append(d.refs, splitList(v)...)
+					}
+					if v, ok := strings.CutPrefix(field, "allow="); ok {
+						for _, name := range splitList(v) {
+							d.allow[name] = true
+						}
+					}
+				}
+				if len(d.refs) == 0 {
+					pass.Reportf(ts.Pos(), "//lint:key directive on %s names no identity functions (want ref=F1,F2)", ts.Name.Name)
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+func directiveText(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		if rest, ok := strings.CutPrefix(c.Text, "//lint:key "); ok {
+			return rest + " "
+		}
+	}
+	return ""
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func check(pass *analysis.Pass, d directive) {
+	obj, ok := pass.TypesInfo.Defs[d.spec.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(d.spec.Pos(), "//lint:key directive on %s, which is not a struct", d.spec.Name.Name)
+		return
+	}
+
+	// Canonical field objects of the struct.
+	fields := map[types.Object]bool{} // field -> referenced
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i)] = false
+	}
+
+	resolved := 0
+	for _, name := range d.refs {
+		funcs := resolveKeyFuncs(pass.Program, named, name)
+		if len(funcs) == 0 {
+			pass.Reportf(d.spec.Pos(),
+				"identity function %q for %s not found in the analyzed packages (run asaplint over the full module, or fix the //lint:key directive)",
+				name, d.spec.Name.Name)
+			continue
+		}
+		resolved++
+		for _, kf := range funcs {
+			markReferences(kf.pkg, kf.decl, named, fields)
+		}
+	}
+	if resolved == 0 {
+		// No identity function seen at all (typically a partial-module run):
+		// per-field findings would be a misleading cascade.
+		return
+	}
+
+	// Report unreferenced, unallowed fields at their declarations.
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if fields[f] || d.allow[f.Name()] {
+			continue
+		}
+		pass.Reportf(f.Pos(),
+			"field %s of %s is not referenced by any identity function (%s): cell identity will silently collapse — render it there or add allow=%s to the //lint:key directive",
+			f.Name(), d.spec.Name.Name, strings.Join(d.refs, ", "), f.Name())
+	}
+}
+
+// keyFunc is one resolved identity function.
+type keyFunc struct {
+	pkg  *analysis.Package
+	decl *ast.FuncDecl
+}
+
+// resolveKeyFuncs finds functions named name across the program that take
+// the struct as receiver or parameter.
+func resolveKeyFuncs(prog *analysis.Program, named *types.Named, name string) []keyFunc {
+	var out []keyFunc
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != name || fd.Body == nil {
+					continue
+				}
+				if fnTakes(pkg, fd, named) {
+					out = append(out, keyFunc{pkg: pkg, decl: fd})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// fnTakes reports whether fd's receiver or any parameter has type named (or
+// a pointer to it).
+func fnTakes(pkg *analysis.Package, fd *ast.FuncDecl, named *types.Named) bool {
+	var lists []*ast.FieldList
+	if fd.Recv != nil {
+		lists = append(lists, fd.Recv)
+	}
+	lists = append(lists, fd.Type.Params)
+	for _, fl := range lists {
+		for _, field := range fl.List {
+			t := pkg.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if types.Identical(t, named) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// markReferences scans one identity function body and marks struct fields it
+// references. Passing a whole value of the struct type as a call argument
+// (other than as the receiver of a field selection) marks every field.
+func markReferences(pkg *analysis.Package, fd *ast.FuncDecl, named *types.Named, fields map[types.Object]bool) {
+	markAll := func() {
+		for f := range fields {
+			fields[f] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				if _, tracked := fields[sel.Obj()]; tracked {
+					fields[sel.Obj()] = true
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range e.Args {
+				t := pkg.Info.TypeOf(arg)
+				if t == nil {
+					continue
+				}
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if types.Identical(t, named) {
+					// The whole struct escapes into a call (a digest or
+					// formatter): every field is part of the rendering.
+					markAll()
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,21 @@
+package keycomplete_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/keycomplete"
+)
+
+// TestGood: field-by-field rendering plus an allowlisted Seed, and a
+// whole-struct formatter escape, both cover every field.
+func TestGood(t *testing.T) {
+	analysistest.Run(t, keycomplete.Analyzer, "good")
+}
+
+// TestMissing: a field added without rendering or allowlisting it is flagged
+// at its declaration; an unresolvable ref reports once, without a per-field
+// cascade.
+func TestMissing(t *testing.T) {
+	analysistest.Run(t, keycomplete.Analyzer, "missing")
+}

@@ -1,0 +1,32 @@
+// Package good holds key structs whose identity functions cover every field:
+// a Name-style renderer referencing fields one by one (with an allowlisted
+// Seed), and a Digest-style function that passes the whole struct to a
+// formatter, which counts as rendering every field.
+package good
+
+import "fmt"
+
+//lint:key ref=Name allow=Seed
+type Scenario struct {
+	Workload string
+	Virt     bool
+	Seed     uint64
+}
+
+func (s Scenario) Name() string {
+	n := s.Workload
+	if s.Virt {
+		n += "/virt"
+	}
+	return n
+}
+
+//lint:key ref=Digest
+type Params struct {
+	Registers int
+	HoleProb  float64
+}
+
+func Digest(p Params) string {
+	return fmt.Sprintf("%+v", p)
+}

@@ -1,0 +1,18 @@
+// Package missing holds the failure modes: a field added to a key struct
+// without extending its renderer or the allowlist, and a directive naming an
+// identity function that does not exist (which must not cascade into
+// per-field findings).
+package missing
+
+//lint:key ref=Name
+type Scenario struct {
+	Workload string
+	Trace    string // want `field Trace of Scenario is not referenced by any identity function \(Name\)`
+}
+
+func (s Scenario) Name() string { return s.Workload }
+
+//lint:key ref=Nope
+type Params struct { // want `identity function "Nope" for Params not found in the analyzed packages`
+	Registers int
+}

@@ -1,0 +1,260 @@
+// Package meterwindow checks the simulator's measured-window accounting
+// protocol: a meter-style type (any type with both a begin and a finish
+// method) must snapshot every cumulative counter it later reports a
+// windowed delta of.
+//
+// The protocol under guard, from internal/sim's meter: begin runs at the
+// warmup/measure boundary and stores baselines into `*0` receiver fields
+// (m.overflowed0 = engine.Overflowed()); finish reads the same counters again
+// and reports counter-minus-baseline. Two historical bugs broke it the same
+// way — PR 1 reported cumulative engine.RangeHitRate() and mshr.Dropped()
+// including warmup, PR 4 reported engine.Overflowed() without its baseline —
+// so the analyzer enforces both halves mechanically:
+//
+//  1. every cumulative-counter getter finish reads off one of its parameters
+//     must be used as `getter - m.<field>0` (a measured-window delta), and
+//  2. the baseline field of that delta must be assigned in begin from the
+//     same getter.
+//
+// Parameters finish writes to (the *Result being filled in) are outputs, not
+// counters, and are exempt. Receiver fields are the meter's own windowed
+// accumulators and are exempt too.
+package meterwindow
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "meterwindow",
+	Doc: "check that every cumulative counter read in a meter's finish has a " +
+		"matching *0 baseline snapshot in its begin",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Collect begin/finish method declarations per receiver type name.
+	type pair struct{ begin, finish *ast.FuncDecl }
+	pairs := map[string]*pair{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			if fd.Name.Name != "begin" && fd.Name.Name != "finish" {
+				continue
+			}
+			recv := receiverTypeName(fd.Recv.List[0].Type)
+			if recv == "" {
+				continue
+			}
+			p := pairs[recv]
+			if p == nil {
+				p = &pair{}
+				pairs[recv] = p
+			}
+			if fd.Name.Name == "begin" {
+				p.begin = fd
+			} else {
+				p.finish = fd
+			}
+		}
+	}
+	for _, p := range pairs {
+		if p.begin != nil && p.finish != nil {
+			checkPair(pass, p.begin, p.finish)
+		}
+	}
+	return nil
+}
+
+// receiverTypeName unwraps *T / T receiver syntax to the type name.
+func receiverTypeName(e ast.Expr) string {
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = star.X
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// receiverName returns the name binding a method's receiver, or "".
+func receiverName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List[0].Names) == 1 {
+		return fd.Recv.List[0].Names[0].Name
+	}
+	return ""
+}
+
+// paramNames returns the named parameters of fd.
+func paramNames(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	for _, field := range fd.Type.Params.List {
+		for _, n := range field.Names {
+			out[n.Name] = true
+		}
+	}
+	return out
+}
+
+// counterUse is one read of a parameter's counter in finish: a call
+// p.Getter() or a field read p.Counter.
+type counterUse struct {
+	node   ast.Node // the call (or bare selector) expression
+	param  string   // parameter the counter lives on
+	getter string   // selector name: the counter's identity
+}
+
+func checkPair(pass *analysis.Pass, begin, finish *ast.FuncDecl) {
+	beginRecv := receiverName(begin)
+	finishRecv := receiverName(finish)
+	if beginRecv == "" || finishRecv == "" || finish.Body == nil || begin.Body == nil {
+		return
+	}
+
+	// Baselines established by begin: field name -> getter it snapshots.
+	snapshots := map[string]string{}
+	ast.Inspect(begin.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			field, ok := recvField(lhs, beginRecv)
+			if !ok || !strings.HasSuffix(field, "0") {
+				continue
+			}
+			if getter, _, ok := selectorRead(as.Rhs[i]); ok {
+				snapshots[field] = getter
+			}
+		}
+		return true
+	})
+
+	params := paramNames(finish)
+	written := writtenParams(finish, params)
+
+	// Pass 1 over finish: find every delta expression `use - recv.field0`,
+	// record the pairing, and remember the use node as accounted for.
+	paired := map[ast.Node]string{} // use node -> baseline field
+	ast.Inspect(finish.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.SUB {
+			return true
+		}
+		field, ok := recvField(be.Y, finishRecv)
+		if !ok || !strings.HasSuffix(field, "0") {
+			return true
+		}
+		if use, ok := counterRead(be.X, params, written); ok {
+			paired[use.node] = field
+			if got, ok := snapshots[field]; !ok {
+				pass.Reportf(be.Y.Pos(),
+					"window delta subtracts %s.%s, but begin never snapshots it (add %s.%s = <counter>.%s in begin)",
+					finishRecv, field, beginRecv, field, use.getter)
+			} else if got != use.getter {
+				pass.Reportf(be.Y.Pos(),
+					"window delta pairs %s with baseline %s.%s, but begin snapshots %s.%s from %s",
+					use.getter, finishRecv, field, beginRecv, field, got)
+			}
+		}
+		return true
+	})
+
+	// Pass 2: any remaining counter read in finish reports a cumulative value
+	// (warmup included) instead of a measured-window delta.
+	ast.Inspect(finish.Body, func(n ast.Node) bool {
+		use, ok := counterRead(n, params, written)
+		if !ok || use.node != n {
+			return true
+		}
+		if _, ok := paired[n]; !ok {
+			pass.Reportf(n.Pos(),
+				"cumulative counter %s.%s used in finish without a measured-window baseline (subtract a *0 field snapshotted in begin)",
+				use.param, use.getter)
+		}
+		// Don't descend into the matched selector/call again.
+		return false
+	})
+}
+
+// recvField matches expr against recv.<field> and returns the field name.
+func recvField(e ast.Expr, recv string) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != recv {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// selectorRead matches `x.Sel` or `x.Sel()` and returns (Sel, x) for an
+// ident x.
+func selectorRead(e ast.Expr) (getter, on string, ok bool) {
+	if call, isCall := e.(*ast.CallExpr); isCall {
+		e = call.Fun
+	}
+	sel, isSel := e.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	return sel.Sel.Name, id.Name, true
+}
+
+// counterRead matches a read of a counter off a read-only parameter:
+// p.Getter() or p.Field for p in params and not written in finish.
+func counterRead(n ast.Node, params, written map[string]bool) (counterUse, bool) {
+	e, ok := n.(ast.Expr)
+	if !ok {
+		return counterUse{}, false
+	}
+	getter, on, ok := selectorRead(e)
+	if !ok || !params[on] || written[on] {
+		return counterUse{}, false
+	}
+	return counterUse{node: n, param: on, getter: getter}, true
+}
+
+// writtenParams returns the parameters finish assigns through (p.X = ..., or
+// compound ops): those are result outputs, not counter sources.
+func writtenParams(fd *ast.FuncDecl, params map[string]bool) map[string]bool {
+	written := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			for {
+				switch e := lhs.(type) {
+				case *ast.SelectorExpr:
+					lhs = e.X
+					continue
+				case *ast.IndexExpr:
+					lhs = e.X
+					continue
+				case *ast.Ident:
+					if params[e.Name] {
+						written[e.Name] = true
+					}
+				}
+				break
+			}
+		}
+		return true
+	})
+	return written
+}

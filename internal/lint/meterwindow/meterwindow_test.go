@@ -1,0 +1,26 @@
+package meterwindow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/meterwindow"
+)
+
+// TestGood: the correct protocol — every finish read paired with a begin
+// snapshot — produces no diagnostics.
+func TestGood(t *testing.T) {
+	analysistest.Run(t, meterwindow.Analyzer, "good")
+}
+
+// TestPR1Window reconstructs the PR 1 bug: RangeHitRate and MSHRDropped
+// reported cumulatively (warmup included) instead of as window deltas.
+func TestPR1Window(t *testing.T) {
+	analysistest.Run(t, meterwindow.Analyzer, "pr1window")
+}
+
+// TestPR4Overflow reconstructs the PR 4 bug: the Overflowed delta's baseline
+// is never snapshotted in begin (plus the mismatched-getter variant).
+func TestPR4Overflow(t *testing.T) {
+	analysistest.Run(t, meterwindow.Analyzer, "pr4overflow")
+}

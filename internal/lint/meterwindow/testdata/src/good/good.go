@@ -1,0 +1,37 @@
+// Package good models the meter protocol done right: every cumulative
+// counter finish reads is reported as a delta against a *0 baseline that
+// begin snapshots from the same getter.
+package good
+
+type Engine struct{ overflowed, lookups int }
+
+func (e *Engine) Overflowed() int { return e.overflowed }
+func (e *Engine) Lookups() int    { return e.lookups }
+
+type MSHRFile struct{ dropped int }
+
+func (f *MSHRFile) Dropped() int { return f.dropped }
+
+type Result struct {
+	Lookups    int
+	Overflowed int
+	Dropped    int
+}
+
+type meter struct {
+	lookups0    int
+	overflowed0 int
+	dropped0    int
+}
+
+func (m *meter) begin(engine *Engine, mshr *MSHRFile) {
+	m.lookups0 = engine.Lookups()
+	m.overflowed0 = engine.Overflowed()
+	m.dropped0 = mshr.Dropped()
+}
+
+func (m *meter) finish(res *Result, engine *Engine, mshr *MSHRFile) {
+	res.Lookups = engine.Lookups() - m.lookups0
+	res.Overflowed += engine.Overflowed() - m.overflowed0
+	res.Dropped = mshr.Dropped() - m.dropped0
+}

@@ -1,0 +1,37 @@
+// Package pr1window reconstructs the PR 1 regression: finish reported
+// engine.RangeHitRate() and mshr.Dropped() as cumulative values — warmup
+// included — instead of measured-window deltas against baselines snapshotted
+// in begin.
+package pr1window
+
+type Engine struct{ rangeHits, lookups int }
+
+func (e *Engine) Lookups() int { return e.lookups }
+func (e *Engine) RangeHitRate() float64 {
+	if e.lookups == 0 {
+		return 0
+	}
+	return float64(e.rangeHits) / float64(e.lookups)
+}
+
+type MSHRFile struct{ dropped int }
+
+func (f *MSHRFile) Dropped() int { return f.dropped }
+
+type Result struct {
+	Lookups      int
+	RangeHitRate float64
+	MSHRDropped  int
+}
+
+type meter struct{ lookups0 int }
+
+func (m *meter) begin(engine *Engine, mshr *MSHRFile) {
+	m.lookups0 = engine.Lookups()
+}
+
+func (m *meter) finish(res *Result, engine *Engine, mshr *MSHRFile) {
+	res.Lookups = engine.Lookups() - m.lookups0
+	res.RangeHitRate = engine.RangeHitRate() // want `cumulative counter engine.RangeHitRate used in finish without a measured-window baseline`
+	res.MSHRDropped = mshr.Dropped()         // want `cumulative counter mshr.Dropped used in finish without a measured-window baseline`
+}

@@ -1,0 +1,42 @@
+// Package pr4overflow reconstructs the PR 4 regression: finish reports a
+// window delta for the engine's Overflowed counter, but begin never
+// snapshots the m.overflowed0 baseline it subtracts — so the delta silently
+// measures against zero. A second meter shows the mismatched-getter variant:
+// the baseline exists but was snapshotted from a different counter.
+package pr4overflow
+
+type Engine struct{ overflowed, lookups int }
+
+func (e *Engine) Overflowed() int { return e.overflowed }
+func (e *Engine) Lookups() int    { return e.lookups }
+
+type Result struct {
+	Lookups    int
+	Overflowed int
+}
+
+type meter struct {
+	lookups0    int
+	overflowed0 int
+}
+
+func (m *meter) begin(engine *Engine) {
+	m.lookups0 = engine.Lookups()
+}
+
+func (m *meter) finish(res *Result, engine *Engine) {
+	res.Lookups = engine.Lookups() - m.lookups0
+	res.Overflowed += engine.Overflowed() - m.overflowed0 // want `window delta subtracts m.overflowed0, but begin never snapshots it`
+}
+
+type crossMeter struct {
+	overflowed0 int
+}
+
+func (m *crossMeter) begin(engine *Engine) {
+	m.overflowed0 = engine.Lookups()
+}
+
+func (m *crossMeter) finish(res *Result, engine *Engine) {
+	res.Overflowed = engine.Overflowed() - m.overflowed0 // want `window delta pairs Overflowed with baseline m.overflowed0, but begin snapshots m.overflowed0 from Lookups`
+}

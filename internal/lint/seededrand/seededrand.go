@@ -1,0 +1,126 @@
+// Package seededrand checks that every pseudo-random stream constructed in
+// the simulation/reporting packages derives its seed from explicit seed
+// plumbing (ultimately sim.Params.Seed), never from a literal or the wall
+// clock.
+//
+// A literal seed hides a second source of truth: the cell's identity says
+// "Seed: 42" while some inner component quietly runs on 7, so sweeping the
+// seed no longer sweeps the run and repeats stop being independent. A
+// wall-clock seed destroys reproducibility outright. Both are flagged at the
+// construction site: rand.New(rand.NewSource(...)), rand/v2 PCG and ChaCha8
+// constructors, and this repository's own rng.New stream constructor.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/determinism"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "require PRNG constructions to be seeded from explicit seed plumbing " +
+		"(sim.Params), never a literal or the wall clock",
+	Run: run,
+}
+
+// Scope shares the determinism analyzer's package scope: both guard the same
+// reproducibility contract.
+func inScope(path string) bool {
+	if len(determinism.Scope) == 0 {
+		return true
+	}
+	for _, p := range determinism.Scope {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// seedArgIndex names the seed parameter position of known PRNG constructors;
+// -1 means every argument is a seed (rand/v2 NewPCG takes two words).
+var constructors = map[[2]string]int{
+	{"math/rand", "NewSource"}:     0,
+	{"math/rand/v2", "NewPCG"}:     -1,
+	{"math/rand/v2", "NewChaCha8"}: 0,
+	{"repro/internal/rng", "New"}:  0,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			idx, ok := constructors[[2]string{fn.Pkg().Path(), fn.Name()}]
+			if !ok {
+				return true
+			}
+			for i, arg := range call.Args {
+				if idx >= 0 && i != idx {
+					continue
+				}
+				checkSeed(pass, fn, arg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSeed flags constant and wall-clock seed expressions. Anything else is
+// assumed to be plumbed from Params or a derived salt, which is the point:
+// the seed must arrive through an explicit data path the cell key can see.
+func checkSeed(pass *analysis.Pass, fn *types.Func, arg ast.Expr) {
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+		pass.Reportf(arg.Pos(),
+			"%s seeded with a constant: derive the seed from Params/explicit seed plumbing so the cell key governs every random stream",
+			fn.Name())
+		return
+	}
+	if clock := wallClockCall(pass, arg); clock != "" {
+		pass.Reportf(arg.Pos(),
+			"%s seeded from %s: wall-clock seeds make runs irreproducible; derive the seed from Params instead",
+			fn.Name(), clock)
+	}
+}
+
+// wallClockCall reports a time-package call nested in e, if any.
+func wallClockCall(pass *analysis.Pass, e ast.Expr) string {
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			// Only package-level functions read the clock; methods (UnixNano,
+			// Sub, ...) just convert a value that already escaped it.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+				found = "time." + fn.Name()
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

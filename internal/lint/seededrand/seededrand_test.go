@@ -1,0 +1,31 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/seededrand"
+)
+
+// allPackages widens the shared determinism scope to the fixture under test
+// and restores it afterwards.
+func allPackages(t *testing.T) {
+	t.Helper()
+	saved := determinism.Scope
+	determinism.Scope = nil
+	t.Cleanup(func() { determinism.Scope = saved })
+}
+
+// TestGood: seeds plumbed from Params (possibly salted) pass, across
+// math/rand, math/rand/v2 and the repo's own rng package.
+func TestGood(t *testing.T) {
+	allPackages(t)
+	analysistest.Run(t, seededrand.Analyzer, "good")
+}
+
+// TestBad: literal and wall-clock seeds are flagged at the construction site.
+func TestBad(t *testing.T) {
+	allPackages(t)
+	analysistest.Run(t, seededrand.Analyzer, "bad")
+}

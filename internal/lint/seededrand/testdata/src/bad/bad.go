@@ -1,0 +1,28 @@
+// Package bad seeds streams from literals and the wall clock: both hide the
+// stream's identity from the cell key (sweeping Seed no longer sweeps the
+// run) or destroy reproducibility outright.
+package bad
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func Literal() *rand.Rand {
+	return rand.New(rand.NewSource(7)) // want `NewSource seeded with a constant`
+}
+
+func LiteralV2() *randv2.Rand {
+	return randv2.New(randv2.NewPCG(1, 2)) // want `NewPCG seeded with a constant` `NewPCG seeded with a constant`
+}
+
+func LiteralStream() *rng.Stream {
+	return rng.New(42) // want `New seeded with a constant`
+}
+
+func Clock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `NewSource seeded from time.Now`
+}

@@ -1,0 +1,24 @@
+// Package good seeds every stream from explicit plumbing: a Params-style
+// seed field, possibly salted — never a literal, never the clock.
+package good
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+
+	"repro/internal/rng"
+)
+
+type Params struct{ Seed uint64 }
+
+func Stream(p Params) *rand.Rand {
+	return rand.New(rand.NewSource(int64(p.Seed)))
+}
+
+func StreamV2(p Params) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(p.Seed, p.Seed>>32))
+}
+
+func Salted(p Params, salt uint64) *rng.Stream {
+	return rng.New(p.Seed ^ salt)
+}

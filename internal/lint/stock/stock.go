@@ -1,0 +1,479 @@
+// Package stock reimplements the curated subset of x/tools stock analyzers
+// the suite runs alongside the repo-specific ones: nilness, unusedresult,
+// copylocks and shadow. The real passes live in golang.org/x/tools, which
+// this dependency-free repository cannot vendor; these are deliberately
+// narrower ports that keep the same names, report the same bug classes, and
+// can be swapped for the originals wholesale if a dependency on x/tools ever
+// becomes acceptable. go vet (in CI) still runs the full-strength copylocks,
+// so the port here is belt-and-braces rather than the only line of defense.
+package stock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzers returns the curated stock passes in suite order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Nilness, Unusedresult, Copylocks, Shadow}
+}
+
+// ---- nilness ----------------------------------------------------------
+
+// Nilness flags the direct form of the nil-deref bug: a branch taken when x
+// == nil that then dereferences, calls, or indexes x without reassigning it.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "flag dereferences of a variable inside the branch that just proved it nil",
+	Run:  runNilness,
+}
+
+func runNilness(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			be, ok := ifs.Cond.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			if x, ok := be.X.(*ast.Ident); ok && isNilIdent(pass, be.Y) {
+				id = x
+			} else if y, ok := be.Y.(*ast.Ident); ok && isNilIdent(pass, be.X) {
+				id = y
+			}
+			if id == nil {
+				return true
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj == nil || !nilable(obj.Type()) {
+				return true
+			}
+			var branch ast.Stmt
+			switch be.Op {
+			case token.EQL:
+				branch = ifs.Body // if x == nil { ...x must not be used... }
+			case token.NEQ:
+				branch = ifs.Else // if x != nil {...} else { ...x is nil... }
+			}
+			if branch == nil {
+				return true
+			}
+			reportNilUse(pass, branch, obj)
+			return true
+		})
+	}
+	return nil
+}
+
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+func nilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Slice, *types.Signature, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// reportNilUse reports dereferences of obj in the branch where it is nil,
+// giving up at the first reassignment.
+func reportNilUse(pass *analysis.Pass, branch ast.Stmt, obj types.Object) {
+	assigned := false
+	isObj := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.TypesInfo.ObjectOf(id) == obj
+	}
+	ast.Inspect(branch, func(n ast.Node) bool {
+		if assigned {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				if isObj(lhs) {
+					assigned = true
+				}
+			}
+		case *ast.SelectorExpr:
+			// Only a deref for pointer receivers of fields; method values on
+			// nil pointers may be legal, so restrict to pointer field access
+			// and interface method calls via the nilable check above.
+			if isObj(e.X) {
+				if _, ok := obj.Type().Underlying().(*types.Pointer); ok {
+					pass.Reportf(e.Pos(), "%s is nil on this branch; selecting through it will panic", obj.Name())
+				}
+			}
+		case *ast.StarExpr:
+			if isObj(e.X) {
+				pass.Reportf(e.Pos(), "%s is nil on this branch; dereferencing it will panic", obj.Name())
+			}
+		case *ast.IndexExpr:
+			if isObj(e.X) {
+				if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+					pass.Reportf(e.Pos(), "%s is nil on this branch; indexing it will panic", obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if isObj(e.Fun) {
+				pass.Reportf(e.Pos(), "%s is nil on this branch; calling it will panic", obj.Name())
+			}
+		}
+		return !assigned
+	})
+}
+
+// ---- unusedresult -----------------------------------------------------
+
+// Unusedresult flags statement-position calls to pure functions whose entire
+// point is their return value.
+var Unusedresult = &analysis.Analyzer{
+	Name: "unusedresult",
+	Doc:  "flag discarded results of pure functions (fmt.Errorf, errors.New, String/Error methods, ...)",
+	Run:  runUnusedresult,
+}
+
+var pureFuncs = map[[2]string]bool{
+	{"errors", "New"}:        true,
+	{"errors", "Unwrap"}:     true,
+	{"errors", "Join"}:       true,
+	{"fmt", "Errorf"}:        true,
+	{"fmt", "Sprint"}:        true,
+	{"fmt", "Sprintf"}:       true,
+	{"fmt", "Sprintln"}:      true,
+	{"sort", "Reverse"}:      true,
+	{"context", "WithValue"}: true,
+	{"maps", "Clone"}:        true,
+	{"slices", "Clone"}:      true,
+}
+
+func runUnusedresult(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			if sig.Recv() == nil {
+				if fn.Pkg() != nil && pureFuncs[[2]string{fn.Pkg().Path(), fn.Name()}] {
+					pass.Reportf(call.Pos(), "result of %s.%s is discarded", fn.Pkg().Name(), fn.Name())
+				}
+				return true
+			}
+			// Pure stringer-shaped methods: String() string / Error() string.
+			if (fn.Name() == "String" || fn.Name() == "Error") &&
+				sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+				types.Identical(sig.Results().At(0).Type(), types.Typ[types.String]) {
+				pass.Reportf(call.Pos(), "result of (%s).%s is discarded", sig.Recv().Type(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ---- copylocks --------------------------------------------------------
+
+// Copylocks flags by-value movement of types that contain a sync lock:
+// receivers, parameters, results, range copies, and plain lvalue copies.
+var Copylocks = &analysis.Analyzer{
+	Name: "copylocks",
+	Doc:  "flag by-value copies of types containing sync.Mutex and friends",
+	Run:  runCopylocks,
+}
+
+func runCopylocks(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncLocks(pass, e)
+			case *ast.RangeStmt:
+				if e.Value != nil {
+					if t := pass.TypesInfo.TypeOf(e.Value); t != nil && containsLock(t, nil) {
+						pass.Reportf(e.Value.Pos(), "range copies a lock by value: %s contains a sync lock; iterate by index or over pointers", t)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range e.Rhs {
+					if i >= len(e.Lhs) {
+						break
+					}
+					if !isLvalueCopy(rhs) {
+						continue
+					}
+					if t := pass.TypesInfo.TypeOf(rhs); t != nil && containsLock(t, nil) {
+						pass.Reportf(rhs.Pos(), "assignment copies a lock by value: %s contains a sync lock; use a pointer", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isLvalueCopy reports whether e is an expression whose assignment copies an
+// existing value (as opposed to a fresh composite literal or call result).
+func isLvalueCopy(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name != "nil"
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	case *ast.ParenExpr:
+		return isLvalueCopy(x.X)
+	}
+	return false
+}
+
+func checkFuncLocks(pass *analysis.Pass, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLock(t, nil) {
+				pass.Reportf(field.Pos(), "%s passes a lock by value: %s contains a sync lock; use a pointer", what, t)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+	check(fd.Type.Results, "result")
+}
+
+// containsLock reports whether t (by value) contains a sync lock type.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// ---- shadow -----------------------------------------------------------
+
+// Shadow flags an inner := redeclaration of a function-local variable of the
+// same type when the shadowed outer variable is still read after the inner
+// scope closes — the classic lost-err-assignment bug. Three idioms are
+// exempt: guard-clause declarations (if err := f(); ... and for/switch init
+// clauses), declarations inside a func literal shadowing a variable of the
+// enclosing function (closures carry their own err), and cases where the
+// first use of the outer variable after the inner scope is itself a plain
+// assignment (the shadowed value was dead, so the forced multi-assign
+// `x, err := f()` inside a block is fine).
+var Shadow = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "flag inner redeclarations that shadow a still-live outer variable of the same type",
+	Run:  runShadow,
+}
+
+func runShadow(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkShadow(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkShadow(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Init-clause declarations are guard idiom, not shadow bugs.
+	initStmts := map[ast.Stmt]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.IfStmt:
+			if e.Init != nil {
+				initStmts[e.Init] = true
+			}
+		case *ast.ForStmt:
+			if e.Init != nil {
+				initStmts[e.Init] = true
+			}
+		case *ast.SwitchStmt:
+			if e.Init != nil {
+				initStmts[e.Init] = true
+			}
+		case *ast.TypeSwitchStmt:
+			if e.Init != nil {
+				initStmts[e.Init] = true
+			}
+		}
+		return true
+	})
+
+	// Plain assignment targets kill the previous value, so a post-scope
+	// occurrence that is a write does not make the shadowed variable live.
+	writeAt := map[token.Pos]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				writeAt[id.Pos()] = true
+			}
+		}
+		return true
+	})
+
+	// Occurrences of each object, for the still-live check. go/types records
+	// both reads and reused assignment targets in Uses.
+	type occurrence struct {
+		pos   token.Pos
+		write bool
+	}
+	usesOf := map[types.Object][]occurrence{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				usesOf[obj] = append(usesOf[obj], occurrence{id.Pos(), writeAt[id.Pos()]})
+			}
+		}
+		return true
+	})
+
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || initStmts[as] {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			inner := pass.TypesInfo.Defs[id]
+			if inner == nil {
+				continue
+			}
+			scope := inner.Parent()
+			if scope == nil {
+				continue
+			}
+			outer := lookupOuter(scope, id.Name, fd, pass)
+			if outer == nil || outer.Pos() >= id.Pos() {
+				continue
+			}
+			if !types.Identical(inner.Type(), outer.Type()) {
+				continue
+			}
+			// Shadowing across a func-literal boundary is the closure carrying
+			// its own variable, not a lost assignment to the outer one.
+			if crossesFuncLit(stack, outer.Pos()) {
+				continue
+			}
+			var first *occurrence
+			for i, occ := range usesOf[outer] {
+				if occ.pos > scope.End() && (first == nil || occ.pos < first.pos) {
+					first = &usesOf[outer][i]
+				}
+			}
+			if first != nil && !first.write {
+				pass.Reportf(id.Pos(),
+					"declaration of %q shadows a variable of the same type declared at %s that is still read after this scope ends",
+					id.Name, pass.Fset.Position(outer.Pos()))
+			}
+		}
+		return true
+	})
+}
+
+// crossesFuncLit reports whether the node currently on top of stack sits
+// inside a func literal that the variable declared at outerPos does not —
+// i.e. the shadow spans a closure boundary.
+func crossesFuncLit(stack []ast.Node, outerPos token.Pos) bool {
+	for _, n := range stack {
+		if lit, ok := n.(*ast.FuncLit); ok && outerPos < lit.Pos() {
+			return true
+		}
+	}
+	return false
+}
+
+// lookupOuter finds a function-local variable named name in a scope strictly
+// enclosing scope, stopping before package scope.
+func lookupOuter(scope *types.Scope, name string, fd *ast.FuncDecl, pass *analysis.Pass) types.Object {
+	for s := scope.Parent(); s != nil; s = s.Parent() {
+		if s == pass.Pkg.Scope() || s == types.Universe {
+			return nil
+		}
+		if obj := s.Lookup(name); obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.Pos() >= fd.Pos() && v.Pos() <= fd.End() {
+				return v
+			}
+			return nil
+		}
+	}
+	return nil
+}

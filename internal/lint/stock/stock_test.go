@@ -1,0 +1,24 @@
+package stock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/stock"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, stock.Shadow, "shadow")
+}
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, stock.Nilness, "nilness")
+}
+
+func TestUnusedresult(t *testing.T) {
+	analysistest.Run(t, stock.Unusedresult, "unusedresult")
+}
+
+func TestCopylocks(t *testing.T) {
+	analysistest.Run(t, stock.Copylocks, "copylocks")
+}

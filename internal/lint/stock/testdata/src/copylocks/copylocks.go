@@ -1,0 +1,29 @@
+// Package copylocks exercises the copylocks analyzer: by-value movement of
+// types containing a sync lock.
+package copylocks
+
+import "sync"
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func ByValue(g Guarded) int { // want `parameter passes a lock by value`
+	return g.n
+}
+
+func (g Guarded) Get() int { // want `receiver passes a lock by value`
+	return g.n
+}
+
+func Copy(g *Guarded) {
+	local := *g // want `assignment copies a lock by value`
+	local.n = 0
+}
+
+func ByPointer(g *Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}

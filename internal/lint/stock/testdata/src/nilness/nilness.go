@@ -1,0 +1,28 @@
+// Package nilness exercises the nilness analyzer: using a value inside the
+// branch that just proved it nil.
+package nilness
+
+type Node struct{ next *Node }
+
+func Deref(n *Node) *Node {
+	if n == nil {
+		return n.next // want `n is nil on this branch; selecting through it will panic`
+	}
+	return n
+}
+
+func Reassigned(n *Node) *Node {
+	if n == nil {
+		n = &Node{}
+		return n.next // fine: n was reassigned first
+	}
+	return n
+}
+
+func ElseBranch(fn func() int) int {
+	if fn != nil {
+		return fn()
+	} else {
+		return fn() // want `fn is nil on this branch; calling it will panic`
+	}
+}

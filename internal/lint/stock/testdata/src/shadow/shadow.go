@@ -1,0 +1,63 @@
+// Package shadow exercises the shadow analyzer: the lost-err-assignment bug
+// is flagged, while guard clauses, closures carrying their own err, and
+// forced multi-assign declarations whose outer variable is dead are not.
+package shadow
+
+import "strconv"
+
+// Lost is the classic bug: the inner err shadows the outer one, so the
+// function returns the zero outer err no matter what Atoi reported.
+func Lost(ss []string) (int, error) {
+	var total int
+	var err error
+	for _, s := range ss {
+		if s != "" {
+			n, err := strconv.Atoi(s) // want `declaration of "err" shadows a variable of the same type`
+			if err == nil {
+				total += n
+			}
+		}
+	}
+	return total, err
+}
+
+// Guard clauses declare into the statement's own scope: idiomatic, exempt.
+func Guard(s string) int {
+	if n, err := strconv.Atoi(s); err == nil {
+		return n
+	}
+	return 0
+}
+
+// DeadAfter shadows err inside the block, but the outer err's first use
+// after the block is a plain reassignment — the shadowed value was dead.
+func DeadAfter(a, b string) (int, error) {
+	n, err := strconv.Atoi(a)
+	if err != nil {
+		return 0, err
+	}
+	if n > 0 {
+		m, err := strconv.Atoi(b)
+		if err != nil {
+			return 0, err
+		}
+		n += m
+	}
+	v, err := strconv.Atoi(b)
+	if err != nil {
+		return 0, err
+	}
+	return n + v, nil
+}
+
+// Closure declares its own err: shadowing across a func-literal boundary is
+// the closure's private variable, not a lost assignment.
+func Closure(s string) error {
+	var err error
+	done := func() {
+		n, err := strconv.Atoi(s)
+		_, _ = n, err
+	}
+	done()
+	return err
+}

@@ -1,0 +1,24 @@
+// Package unusedresult exercises the unusedresult analyzer: statement-
+// position calls whose only effect is the discarded return value.
+package unusedresult
+
+import (
+	"errors"
+	"fmt"
+)
+
+type id int
+
+func (i id) String() string { return fmt.Sprint(int(i)) }
+
+func Discards(err error) {
+	fmt.Errorf("wrapped: %w", err) // want `result of fmt.Errorf is discarded`
+	errors.New("lost")             // want `result of errors.New is discarded`
+	id(7).String()                 // want `result of \(unusedresult.id\).String is discarded`
+}
+
+func Used(err error) error {
+	e := fmt.Errorf("wrapped: %w", err)
+	fmt.Println(id(7).String()) // fine: result consumed
+	return e
+}

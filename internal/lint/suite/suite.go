@@ -1,0 +1,23 @@
+// Package suite assembles the repository's full analyzer set: the four
+// repo-specific invariant checkers plus the curated stock passes.
+package suite
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/keycomplete"
+	"repro/internal/lint/meterwindow"
+	"repro/internal/lint/seededrand"
+	"repro/internal/lint/stock"
+)
+
+// Analyzers returns every analyzer asaplint runs, custom passes first.
+func Analyzers() []*analysis.Analyzer {
+	custom := []*analysis.Analyzer{
+		meterwindow.Analyzer,
+		keycomplete.Analyzer,
+		determinism.Analyzer,
+		seededrand.Analyzer,
+	}
+	return append(custom, stock.Analyzers()...)
+}

@@ -40,7 +40,12 @@ var MetricCols = []string{
 	"mshr_dropped", "range_overflowed", "switches", "shootdown_flushes",
 }
 
-// Record is one simulated cell repeat in machine-readable form.
+// Record is one simulated cell repeat in machine-readable form. asaplint's
+// keycomplete analyzer enforces that CSV emission (row) and JSON emission
+// (object) render every field, so a column added here cannot silently vanish
+// from the artifacts.
+//
+//lint:key ref=row,object
 type Record struct {
 	Experiment    string
 	Cell          string // sim.Scenario.Name()

@@ -18,6 +18,13 @@ import (
 
 // Params holds the simulated platform parameters (the paper's Table 5) and
 // the measurement protocol.
+//
+// Every field is part of a cell's identity: asaplint's keycomplete analyzer
+// enforces that the report params digest covers each one, so adding a field
+// here without rendering it there fails CI. Seed is allowlisted because the
+// digest deliberately zeroes it (repeats share a digest).
+//
+//lint:key ref=Digest allow=Seed
 type Params struct {
 	Cache cache.Config
 	PWC   pwc.Config
@@ -158,7 +165,11 @@ func (a ASAPConfig) String() string {
 	return s
 }
 
-// Scenario is one experiment cell.
+// Scenario is one experiment cell. Every field is part of the cell's rendered
+// identity: asaplint's keycomplete analyzer enforces that Name() references
+// each one, so a new axis added here without extending Name() fails CI.
+//
+//lint:key ref=Name
 type Scenario struct {
 	Workload      workload.Spec
 	Virtualized   bool

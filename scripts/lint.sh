@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# lint.sh — run the repository's invariant linter (asaplint) plus a gofmt
+# diff check, exactly as CI's blocking lint job does.
+#
+# Usage:
+#   scripts/lint.sh                 # lint the whole module
+#   scripts/lint.sh ./internal/sim  # lint specific packages
+#
+# asaplint is the repo-specific go/analysis suite (see README "Invariants &
+# linting"): meterwindow, keycomplete, determinism and seededrand alongside
+# curated stock passes. Any finding fails the script; suppress one — with a
+# written justification — via //lint:ignore or //lint:ordered.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# gofmt: report any file whose formatting differs.
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+  echo "gofmt: the following files need reformatting:" >&2
+  echo "$unformatted" >&2
+  fail=1
+fi
+
+# asaplint: go run reuses the go build cache, so repeated runs only pay for
+# the analyzer build once.
+if ! go run ./cmd/asaplint "${@:-./...}"; then
+  fail=1
+fi
+
+exit "$fail"
