@@ -7,6 +7,7 @@
 //	asapsim -workload mc80 -asap p1+p2 -colocate
 //	asapsim -workload redis -virt -guest p1+p2 -host p1+p2
 //	asapsim -workload mcf -procs 4 -mix mcf,canneal -flushswitch
+//	asapsim -workload mc80 -scheme victima
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/mmu"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -26,7 +28,8 @@ import (
 func main() {
 	var (
 		name      = flag.String("workload", "mc80", "workload name ("+strings.Join(workload.Names(), ", ")+")")
-		asapFlag  = flag.String("asap", "off", "native ASAP config: off, p1, p1+p2, p1+p2+p3")
+		scheme    = flag.String("scheme", "asap", "translation scheme ("+strings.Join(mmu.Names(), ", ")+")")
+		asapFlag  = flag.String("asap", "off", "native ASAP config: off, p1, p1+p2, p1+p2+p3 (-scheme asap only)")
 		guestFlag = flag.String("guest", "off", "guest ASAP config (with -virt)")
 		hostFlag  = flag.String("host", "off", "host ASAP config (with -virt)")
 		virtual   = flag.Bool("virt", false, "run under virtualization (2D nested walks)")
@@ -51,7 +54,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown workload %q; have %s\n", *name, strings.Join(workload.Names(), ", "))
 		os.Exit(2)
 	}
-	native, guest, host := parseASAP(*asapFlag), parseASAP(*guestFlag), parseASAP(*hostFlag)
+	if err := mmu.Validate(*scheme); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// The native ASAP config parses in scheme context: prefetch levels are the
+	// asap scheme's mechanism, so -scheme victima -asap p1+p2 is rejected, not
+	// silently ignored. Guest/host configs are virtualization-only and the
+	// rival schemes are native-only, so plain parses plus the -virt checks
+	// below cover them.
+	native, err := mmu.ParseASAP(*scheme, *asapFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	guest, host := parseASAP(*guestFlag), parseASAP(*hostFlag)
 	// Reject contradictory flag combinations up front: silently ignoring a
 	// dimension the user asked for produces misleading results.
 	if *procs <= 1 && (*mix != "" || *flushSw || *quantum > 0) {
@@ -68,6 +85,10 @@ func main() {
 	}
 	if *virtual && native.Enabled() {
 		fmt.Fprintln(os.Stderr, "-asap selects the native engine; under -virt use -guest/-host")
+		os.Exit(2)
+	}
+	if *virtual && mmu.Canonical(*scheme) != "asap" {
+		fmt.Fprintf(os.Stderr, "-scheme %s is native-only; -virt runs the asap pipeline\n", mmu.Canonical(*scheme))
 		os.Exit(2)
 	}
 	p := sim.DefaultParams()
@@ -99,6 +120,11 @@ func main() {
 			Guest:  guest,
 			Host:   host,
 		},
+	}
+	if mmu.Canonical(*scheme) != "asap" {
+		// The default asap selection keeps the zero Scenario value, so names
+		// and memo keys match the pre-scheme harness exactly.
+		sc.Scheme = mmu.Canonical(*scheme)
 	}
 	// A single cell gains nothing from parallelism, but routing through the
 	// runner keeps asapsim on the same executor as cmd/paperrepro and the
@@ -133,6 +159,9 @@ func main() {
 		if res.RangeOverflowed > 0 {
 			fmt.Printf("descriptors dropped %d (range-register file full)\n", res.RangeOverflowed)
 		}
+	}
+	if sc.Scheme != "" {
+		fmt.Printf("accel hit rate      %.1f%% (%s mechanism)\n", 100*res.RangeHitRate, sc.SchemeName())
 	}
 	if *breakdown {
 		fmt.Println()

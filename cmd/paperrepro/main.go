@@ -36,8 +36,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/mmu"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/workload"
@@ -62,7 +64,8 @@ func run() (exit int) {
 		format  = flag.String("format", "csv", "artifact format: csv or json")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-		tracef  = flag.String("trace", "", "reference-trace file for the trace-asap experiment (record with asaptrace)")
+		tracef  = flag.String("trace", "", "reference-trace file for the trace-asap and compare-schemes experiments (record with asaptrace)")
+		scheme  = flag.String("scheme", "", "translation scheme for every cell ("+strings.Join(mmu.Names(), ", ")+"; empty = per-experiment default)")
 	)
 	flag.Parse()
 
@@ -125,6 +128,13 @@ func run() (exit int) {
 				}
 			}
 		}()
+	}
+	if *scheme != "" {
+		if err := mmu.Validate(*scheme); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			return 2
+		}
+		o.Scheme = mmu.Canonical(*scheme)
 	}
 	o.Repeats = *repeats
 	o.Trace = *tracef

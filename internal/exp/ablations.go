@@ -257,6 +257,7 @@ func Experiments() []struct {
 		{"ablation-5level", AblationFiveLevel},
 		{"ablation-multiproc", AblationMultiproc},
 		{"trace-asap", TraceReplay},
+		{"compare-schemes", CompareSchemes},
 	}
 }
 

@@ -1,0 +1,197 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// schemeEntry is one column of the scheme-comparison grid: a translation
+// backend (internal/mmu) plus the ASAP configuration it runs under (enabled
+// levels are the asap scheme's mechanism; rivals run with prefetch off).
+// Every cell pins its Scheme explicitly — including the asap rows — so the
+// rendered labels and emitted records carry the axis uniformly.
+type schemeEntry struct {
+	label  string
+	scheme string
+	cfg    sim.ASAPConfig
+}
+
+func schemeEntries() []schemeEntry {
+	return []schemeEntry{
+		{"4K walk", "asap", sim.ASAPConfig{}},
+		{"ASAP P1+P2", "asap", cfgP1P2},
+		{"Victima", "victima", sim.ASAPConfig{}},
+		{"Revelator", "revelator", sim.ASAPConfig{}},
+	}
+}
+
+// CompareSchemes races the registered translation schemes — the paper's ASAP
+// pipeline against Victima-style cache-resident TLB transplants and
+// Revelator-style hash-based speculative translation (PAPERS.md) — over the
+// same native, multi-process and trace-replay scenario grids, so the rival
+// mechanisms are compared on identical reference streams, cache hierarchies
+// and measurement windows. The accel-hit column is each scheme's own
+// mechanism: ASAP range-register matches, Victima L2-residency probes that
+// resolved from the cache, Revelator hash probes that yielded a speculative
+// translation.
+func CompareSchemes(o Options) error {
+	entries := schemeEntries()
+
+	// Native grid: every workload under every scheme.
+	for _, w := range o.Workloads {
+		for _, e := range entries {
+			o.prefetch(sim.Scenario{Workload: w, Scheme: e.scheme, ASAP: e.cfg})
+		}
+	}
+	header := []string{"workload"}
+	for _, e := range entries {
+		header = append(header, e.label)
+	}
+	for _, e := range entries[1:] {
+		header = append(header, e.label+" red.")
+	}
+	tb := stats.NewTable(header...)
+	hits := stats.NewTable("workload", entries[1].label, entries[2].label, entries[3].label)
+	sums := make([]stats.Mean, len(entries))
+	for _, w := range o.Workloads {
+		res := make([]*cellResult, len(entries))
+		row := []string{w.Name}
+		hitRow := []string{w.Name}
+		for i, e := range entries {
+			r, err := o.run(sim.Scenario{Workload: w, Scheme: e.scheme, ASAP: e.cfg})
+			if err != nil {
+				return err
+			}
+			res[i] = r
+			sums[i].Add(r.AvgWalkLat)
+			row = append(row, r.lat())
+			if i > 0 {
+				hitRow = append(hitRow, stats.Pct(r.RangeHitRate))
+			}
+		}
+		for _, r := range res[1:] {
+			row = append(row, stats.Pct(1-r.AvgWalkLat/res[0].AvgWalkLat))
+		}
+		tb.AddRow(row...)
+		hits.AddRow(hitRow...)
+	}
+	avg := []string{"Average"}
+	for i := range entries {
+		avg = append(avg, stats.F1(sums[i].Value()))
+	}
+	for _, s := range sums[1:] {
+		avg = append(avg, stats.Pct(1-s.Value()/sums[0].Value()))
+	}
+	tb.AddRow(avg...)
+	o.printf("Scheme comparison: native (avg walk latency, cycles; lower is better)\n\n%s\n", tb)
+	o.printf("Scheme comparison: acceleration-mechanism hit rate\n\n%s\n", hits)
+
+	if err := compareSchemesMulti(o, entries); err != nil {
+		return err
+	}
+	return compareSchemesTrace(o, entries)
+}
+
+// compareSchemesMulti races the schemes under §3.3-style time-sharing: four
+// processes mixed over the experiment's roster, under both context-switch
+// policies. The walk-stall rate (MPKI × avg walk latency) is the comparison
+// metric, for the reasons AblationMultiproc documents.
+func compareSchemesMulti(o Options, entries []schemeEntry) error {
+	if len(o.Workloads) == 0 {
+		return fmt.Errorf("exp: compare-schemes needs at least one workload")
+	}
+	primary := o.Workloads[0]
+	names := make([]string, len(o.Workloads))
+	for i, w := range o.Workloads {
+		names[i] = w.Name
+	}
+	mix := strings.Join(names, ",")
+	cell := func(e schemeEntry, flush bool) (sim.Scenario, Options) {
+		p := o
+		p.Params.Processes = 4
+		p.Params.FlushOnSwitch = flush
+		return sim.Scenario{Workload: primary, Scheme: e.scheme, ASAP: e.cfg, Mix: mix}, p
+	}
+	for _, flush := range []bool{true, false} {
+		for _, e := range entries {
+			sc, p := cell(e, flush)
+			p.prefetch(sc)
+		}
+	}
+	stall := func(r *cellResult) float64 { return r.MPKI * r.AvgWalkLat }
+	tb := stats.NewTable("scheme", "switch policy", "walk stall (cyc/kI)",
+		"avg walk lat", "MPKI", "accel hits", "TLB flushes")
+	for _, flush := range []bool{true, false} {
+		policy := "ASID"
+		if flush {
+			policy = "flush"
+		}
+		for _, e := range entries {
+			sc, p := cell(e, flush)
+			r, err := p.run(sc)
+			if err != nil {
+				return err
+			}
+			tb.AddRow(e.label, policy, stats.F1(stall(r)), r.lat(),
+				stats.F1(r.MPKI), stats.Pct(r.RangeHitRate),
+				fmt.Sprintf("%d", r.ShootdownFlushes))
+		}
+	}
+	o.printf("Scheme comparison: 4 processes, %s-led mix, flush vs ASID-tagged TLBs\n\n%s\n", primary.Name, tb)
+	return nil
+}
+
+// compareSchemesTrace replays the configured reference trace under every
+// scheme. Like TraceReplay, a missing trace skips with a note and replays run
+// once regardless of -repeats (the stream is verbatim, so repeats would be
+// identical).
+func compareSchemesTrace(o Options, entries []schemeEntry) error {
+	if o.Trace == "" {
+		o.printf("Scheme comparison: no trace file configured (-trace FILE; capture one with `asaptrace record`)\n\n")
+		return nil
+	}
+	tr, err := trace.LoadFile(o.Trace)
+	if err != nil {
+		return err
+	}
+	base := sim.UseTrace(tr)
+	cell := func(e schemeEntry) (sim.Scenario, Options) {
+		sc := base
+		sc.Scheme = e.scheme
+		sc.ASAP = e.cfg
+		p := o
+		p.Repeats = 1
+		return sc, p
+	}
+	for _, e := range entries {
+		sc, p := cell(e)
+		p.prefetch(sc)
+	}
+	o.printf("Scheme comparison: trace %s — %d refs, digest %s, workload %s\n\n",
+		o.Trace, tr.Count, tr.Digest, tr.Header.Spec.Name)
+	tb := stats.NewTable("scheme", "avg walk latency", "reduction", "TLB MPKI", "accel hits")
+	var baseline *cellResult
+	for _, e := range entries {
+		sc, p := cell(e)
+		r, err := p.run(sc)
+		if err != nil {
+			return err
+		}
+		if baseline == nil {
+			baseline = r
+			if r.Walks == 0 {
+				o.printf("trace too short for the measurement protocol (%d refs, %d warmup walks requested); reduce -warmup/-measure or pass -fast\n\n",
+					tr.Count, p.Params.WarmupWalks)
+				return nil
+			}
+		}
+		tb.AddRow(e.label, r.lat(), stats.Pct(1-r.AvgWalkLat/baseline.AvgWalkLat),
+			stats.F2(r.MPKI), stats.Pct(r.RangeHitRate))
+	}
+	o.printf("%s\n", tb)
+	return nil
+}

@@ -44,6 +44,11 @@ type Options struct {
 	// Trace is the reference-trace file driving the trace-replay experiment
 	// (empty skips it with a note).
 	Trace string
+	// Scheme, when non-empty, selects the translation backend (internal/mmu)
+	// for every cell that does not pin one itself. Rival schemes are
+	// native-only, so experiments with virtualized cells fail loudly under
+	// them rather than silently dropping the selection.
+	Scheme string
 }
 
 // Default returns full-fidelity options writing to out.
@@ -76,9 +81,19 @@ type cellResult struct {
 	sigma *sim.Result // nil for a single repeat
 }
 
+// withScheme applies the run-wide scheme selection to a cell that does not
+// pin its own.
+func (o Options) withScheme(sc sim.Scenario) sim.Scenario {
+	if o.Scheme != "" && sc.Scheme == "" {
+		sc.Scheme = o.Scheme
+	}
+	return sc
+}
+
 // run simulates every repeat of one cell, emits a record per repeat to the
 // sink (when configured), and returns the aggregated cell result.
 func (o Options) run(sc sim.Scenario) (*cellResult, error) {
+	sc = o.withScheme(sc)
 	n := o.repeats()
 	rs := make([]*sim.Result, n)
 	for i := 0; i < n; i++ {
@@ -120,6 +135,7 @@ func (o Options) prefetch(scs ...sim.Scenario) {
 		return
 	}
 	for _, sc := range scs {
+		sc = o.withScheme(sc)
 		for i := 0; i < o.repeats(); i++ {
 			o.Runner.SubmitRepeat(sc, o.Params, i)
 		}

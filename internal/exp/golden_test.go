@@ -140,6 +140,53 @@ func TestGoldenTraceReplay(t *testing.T) {
 	}
 }
 
+// TestGoldenCompareSchemes locks the scheme-comparison experiment end to end
+// — native grid, multi-process grid, and the trace section replaying the
+// checked-in canneal capture — and pins the emitted records: every cell
+// carries an explicit scheme in its identity, covering all three registered
+// backends.
+func TestGoldenCompareSchemes(t *testing.T) {
+	sim.ResetBuildCache()
+	var buf bytes.Buffer
+	o := testOptions(&buf)
+	o.Trace = filepath.Join("testdata", "canneal.trc.gz")
+	col := report.NewCollector()
+	o.Sink = col
+	if err := Run("compare-schemes", o); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "schemes.golden", buf.Bytes())
+
+	seen := map[string]bool{}
+	for _, r := range col.Records() {
+		if !strings.Contains(r.Cell, "+mmu[") {
+			t.Fatalf("record cell %q lacks the scheme marker", r.Cell)
+		}
+		seen[r.Scheme] = true
+	}
+	for _, name := range []string{"asap", "victima", "revelator"} {
+		if !seen[name] {
+			t.Fatalf("no record for scheme %q (got %v)", name, seen)
+		}
+	}
+}
+
+// TestCompareSchemesSkipsTraceWithoutFile keeps `paperrepro -exp all` working
+// with no trace configured: the trace section notes the skip and the native
+// and multi-process sections still run.
+func TestCompareSchemesSkipsTraceWithoutFile(t *testing.T) {
+	sim.ResetBuildCache()
+	var buf bytes.Buffer
+	o := testOptions(&buf)
+	o.Workloads = o.Workloads[:1]
+	if err := Run("compare-schemes", o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no trace file configured") {
+		t.Fatalf("skip note missing:\n%s", buf.String())
+	}
+}
+
 // TestTraceReplaySkipsWithoutTrace keeps `paperrepro -exp all` working with
 // no trace configured: the experiment notes the skip and succeeds.
 func TestTraceReplaySkipsWithoutTrace(t *testing.T) {

@@ -28,6 +28,7 @@ import (
 var Scope = []string{
 	"repro/internal/sim",
 	"repro/internal/core",
+	"repro/internal/mmu",
 	"repro/internal/exp",
 	"repro/internal/report",
 	"repro/internal/runner",

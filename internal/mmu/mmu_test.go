@@ -1,0 +1,140 @@
+package mmu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/pwc"
+	"repro/internal/tlb"
+)
+
+func TestValidateAndCanonical(t *testing.T) {
+	if Canonical("") != "asap" {
+		t.Fatalf("Canonical(\"\") = %q", Canonical(""))
+	}
+	for _, name := range append(Names(), "") {
+		if err := Validate(name); err != nil {
+			t.Fatalf("Validate(%q): %v", name, err)
+		}
+	}
+	err := Validate("bogus")
+	if err == nil {
+		t.Fatal("Validate accepted an unknown scheme")
+	}
+	// The error must name every valid scheme, in the style of workload.MixFor.
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list scheme %q", err, name)
+		}
+	}
+}
+
+func TestNewRejectsUnknownScheme(t *testing.T) {
+	cfg := Config{Hier: cache.NewHierarchy(cache.DefaultConfig()),
+		MSHR: cache.NewMSHRFile(10), PWC: pwc.DefaultConfig()}
+	if _, err := New("bogus", cfg); err == nil {
+		t.Fatal("New accepted an unknown scheme")
+	}
+	for _, name := range Names() {
+		s, err := New(name, cfg)
+		if err != nil || s == nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+	}
+}
+
+func TestParseASAPRejectsContradictoryCombos(t *testing.T) {
+	// Prefetch levels belong to the asap scheme.
+	for _, scheme := range []string{"", "asap"} {
+		cfg, err := ParseASAP(scheme, "p1+p2")
+		if err != nil {
+			t.Fatalf("ParseASAP(%q, p1+p2): %v", scheme, err)
+		}
+		if !cfg.P1 || !cfg.P2 {
+			t.Fatalf("ParseASAP(%q, p1+p2) = %+v", scheme, cfg)
+		}
+	}
+	for _, scheme := range []string{"victima", "revelator"} {
+		if _, err := ParseASAP(scheme, "p1"); err == nil {
+			t.Fatalf("ParseASAP(%q, p1) accepted", scheme)
+		}
+		// Disabled configs combine with any scheme.
+		if cfg, err := ParseASAP(scheme, "off"); err != nil || cfg.Enabled() {
+			t.Fatalf("ParseASAP(%q, off) = %+v, %v", scheme, cfg, err)
+		}
+	}
+	// A malformed config still errors through the core parser.
+	if _, err := ParseASAP("asap", "p9"); err == nil {
+		t.Fatal("ParseASAP accepted a malformed config")
+	}
+}
+
+func TestProcListAttachIsDense(t *testing.T) {
+	var l procList
+	p2, p0 := &Process{}, &Process{}
+	l.attach(2, p2)
+	l.attach(0, p0)
+	if len(l) != 3 || l[0] != p0 || l[1] != nil || l[2] != p2 {
+		t.Fatalf("procList = %v", l)
+	}
+}
+
+func TestVictimaTagPacking(t *testing.T) {
+	// Distinct (asid, page, class) must yield distinct tags, and the layout
+	// must match the TLB's so ASID-tagged retention composes.
+	tags := map[uint64]bool{}
+	for _, asid := range []uint64{0, 1, 7} {
+		for _, page := range []uint64{0, 1, 1 << 20} {
+			for _, class := range []tlb.PageClass{tlb.Page4K, tlb.Page2M} {
+				tag := vtag(asid, page, class)
+				if tags[tag] {
+					t.Fatalf("tag collision at asid=%d page=%d class=%d", asid, page, class)
+				}
+				tags[tag] = true
+			}
+		}
+	}
+}
+
+func TestRevelatorSlotDeterministicAndInRegion(t *testing.T) {
+	s := &revelatorScheme{pid: 3}
+	k1, a1 := s.slot(1234, tlb.Page4K)
+	k2, a2 := s.slot(1234, tlb.Page4K)
+	if k1 != k2 || a1 != a2 {
+		t.Fatal("slot is not deterministic")
+	}
+	kOther, _ := s.slot(1234, tlb.Page2M)
+	if kOther == k1 {
+		t.Fatal("page-size classes share a slot key")
+	}
+	lo := revelatorTableBase.Addr()
+	hi := lo + mem.PhysAddr(revelatorBuckets*mem.LineBytes)
+	if a1 < lo || a1 >= hi {
+		t.Fatalf("bucket address %#x outside table region [%#x, %#x)", a1, lo, hi)
+	}
+	// The region must sit above every area of internal/sim's address plan.
+	if lo <= (mem.Frame(1) << 35).Addr() {
+		t.Fatal("hash-table region aliases the simulator address plan")
+	}
+}
+
+func TestASAPSchemeCountersNilEngine(t *testing.T) {
+	cfg := Config{Hier: cache.NewHierarchy(cache.DefaultConfig()),
+		MSHR: cache.NewMSHRFile(10), PWC: pwc.DefaultConfig()}
+	s, err := New("asap", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Counters()
+	if c.Lookups != 0 || c.Hits != 0 || c.Overflowed != 0 {
+		t.Fatalf("baseline asap counters not zero: %+v", c)
+	}
+	cfg.ASAP = core.Config{P1: true, P2: true}
+	cfg.RangeRegisters = 16
+	if _, err := New("asap", cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,7 +25,7 @@ import (
 // decoding the digest.
 var KeyCols = []string{
 	"experiment", "cell", "workload", "virtualized", "colocated",
-	"host_huge_pages", "clustered_tlb", "asap",
+	"host_huge_pages", "clustered_tlb", "asap", "scheme",
 	"range_registers", "hole_prob", "five_level", "pwc_entries",
 	"processes", "quantum_refs", "flush_on_switch",
 	"params_digest", "repeat", "seed",
@@ -55,6 +55,7 @@ type Record struct {
 	HostHugePages bool
 	ClusteredTLB  bool
 	ASAP          string
+	Scheme        string // translation backend (mmu.Canonical: "asap" when unset)
 	// Swept parameters (the ablation axes), broken out from the digest.
 	RangeRegisters int
 	HoleProb       float64
@@ -89,6 +90,7 @@ func FromResult(experiment string, sc sim.Scenario, base sim.Params, repeat int,
 		HostHugePages:  sc.HostHugePages,
 		ClusteredTLB:   sc.ClusteredTLB,
 		ASAP:           sc.ASAP.String(),
+		Scheme:         sc.SchemeName(),
 		RangeRegisters: base.RangeRegisters,
 		HoleProb:       base.HoleProb,
 		FiveLevel:      base.FiveLevel,

@@ -64,7 +64,7 @@ func (r Record) row() []string {
 		r.Experiment, r.Cell, r.Workload,
 		strconv.FormatBool(r.Virtualized), strconv.FormatBool(r.Colocated),
 		strconv.FormatBool(r.HostHugePages), strconv.FormatBool(r.ClusteredTLB),
-		r.ASAP, strconv.Itoa(r.RangeRegisters), num(r.HoleProb),
+		r.ASAP, r.Scheme, strconv.Itoa(r.RangeRegisters), num(r.HoleProb),
 		strconv.FormatBool(r.FiveLevel), r.PWCEntries,
 		strconv.Itoa(r.Processes), strconv.Itoa(r.QuantumRefs),
 		strconv.FormatBool(r.FlushOnSwitch),
@@ -84,7 +84,7 @@ func (r Record) object() map[string]any {
 		"experiment": r.Experiment, "cell": r.Cell, "workload": r.Workload,
 		"virtualized": r.Virtualized, "colocated": r.Colocated,
 		"host_huge_pages": r.HostHugePages, "clustered_tlb": r.ClusteredTLB,
-		"asap": r.ASAP, "range_registers": r.RangeRegisters,
+		"asap": r.ASAP, "scheme": r.Scheme, "range_registers": r.RangeRegisters,
 		"hole_prob": r.HoleProb, "five_level": r.FiveLevel,
 		"pwc_entries": r.PWCEntries,
 		"processes":   r.Processes, "quantum_refs": r.QuantumRefs,

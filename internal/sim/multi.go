@@ -2,25 +2,21 @@ package sim
 
 import (
 	"repro/internal/cache"
-	"repro/internal/core"
 	"repro/internal/mem"
-	"repro/internal/pwc"
 	"repro/internal/rng"
-	"repro/internal/tlb"
 	"repro/internal/walker"
 	"repro/internal/workload"
 )
 
-// mproc is one co-scheduled process: its assembly (page table, frame map,
-// descriptor file — shared with other runs of the same workload), plus the
-// per-process reference generator that gives each process its own phase and
-// the data-traffic stream that models its cache footprint (see runMulti).
+// mproc is one co-scheduled process: its spec, the per-process reference
+// generator that gives each process its own phase, and the data-traffic
+// stream that models its cache footprint (see runMulti). Its address-space
+// state (page table, frame map, descriptor file) is attached to the
+// translation scheme under the process's pid.
 type mproc struct {
-	spec      workload.Spec
-	asm       *nativeAssembly
-	src       refSource
-	neighbors tlb.NeighborFunc
-	data      *workload.CoRunner
+	spec workload.Spec
+	src  refSource
+	data *workload.CoRunner
 }
 
 // runMulti time-shares Params.Processes native processes on the simulated
@@ -30,9 +26,10 @@ type mproc struct {
 // paper argues is ordinary register state; translation state follows the
 // configured policy: FlushOnSwitch drops the TLBs and PWCs (untagged
 // hardware), otherwise entries are retained under per-process ASID tags.
-// The reference stream interleaves quantum slices driven by the
-// deterministic seeded scheduler, so walks, switches and flush refills land
-// identically for any worker count.
+// Both actions live in Scheme.Switch, which reports the descriptor volume
+// moved so the modeled cost scales with it. The reference stream interleaves
+// quantum slices driven by the deterministic seeded scheduler, so walks,
+// switches and flush refills land identically for any worker count.
 //
 // Cache pressure follows the paper's co-runner methodology (§4) applied to
 // time-sharing: a process's own data accesses never flow through the
@@ -44,15 +41,15 @@ type mproc struct {
 // streams, so the pollution is identical under either switch policy. It
 // costs no simulated time (it happened concurrently with the quantum);
 // what it changes is where the incoming process's walks are served.
-func runMulti(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
+func runMulti(sc Scenario, p Params, h *cache.Hierarchy,
 	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result, tap RefTap) error {
 	mix, err := workload.MixFor(sc.Workload, sc.Mix, p.Processes)
 	if err != nil {
 		return err
 	}
-	var engine *core.Engine
-	if sc.ASAP.Native.Enabled() {
-		engine = core.NewEngine(p.RangeRegisters, sc.ASAP.Native)
+	s, err := schemeFor(sc, p, h, mshr)
+	if err != nil {
+		return err
 	}
 	procs := make([]*mproc, len(mix.Specs))
 	for i, spec := range mix.Specs {
@@ -65,33 +62,22 @@ func runMulti(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 			// Same-workload processes share an assembly but never a phase.
 			seed = rng.Mix64(p.Seed + uint64(i)<<13)
 		}
-		layout, frames := asm.layout, asm.frames
-		src, err := tapped(genSource{workload.NewGenerator(spec, layout, seed)}, tap, i, spec, layout, seed)
+		src, err := tapped(genSource{workload.NewGenerator(spec, asm.layout, seed)}, tap, i, spec, asm.layout, seed)
 		if err != nil {
 			return err
 		}
+		s.Attach(i, asm.process())
 		procs[i] = &mproc{
 			spec: spec,
-			asm:  asm,
 			src:  src,
-			neighbors: func(vpn uint64) (uint64, bool) {
-				if !layout.PresentVPN(vpn) {
-					return 0, false
-				}
-				return uint64(frames.Frame(vpn)), true
-			},
-			data: workload.NewCoRunner(frames.Base.Addr(), frames.Span*mem.PageSize,
+			data: workload.NewCoRunner(asm.frames.Base.Addr(), asm.frames.Span*mem.PageSize,
 				rng.Mix64(seed^0xda7a)),
 		}
 	}
 
-	pw := pwc.New(p.PWC)
-	w := &walker.Walker{H: h, PWC: pw, ASAP: engine, MSHR: mshr}
-	if engine != nil {
-		// Boot-time install of process 0's descriptor file; later switch-ins
-		// restore it again like any other process's.
-		engine.Swap(procs[0].asm.descs)
-	}
+	// Boot-time install of process 0's state; later switch-ins restore it
+	// again like any other process's.
+	s.Boot(0)
 	sched := workload.NewScheduler(len(procs), p.QuantumRefs, rng.Mix64(p.Seed^0x5c4ed))
 
 	var wr walker.Result
@@ -103,7 +89,7 @@ func runMulti(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 	cur := procs[0]
 	for refs = 0; refs < p.MaxRefs; refs++ {
 		if !measuring && walksTotal >= p.WarmupWalks {
-			measure.begin(tl, engine, nil, mshr)
+			measure.begin(s.Counters())
 			measuring = true
 		}
 		if measuring && int(measure.walks) >= p.MeasureWalks {
@@ -121,18 +107,8 @@ func runMulti(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 			}
 			sliceRefs = 0
 			cur = procs[pid]
-			cost := p.SwitchCycles
-			if engine != nil {
-				moved := engine.Swap(cur.asm.descs)
-				cost += p.DescSwapCycles * float64(moved)
-			}
-			if p.FlushOnSwitch {
-				tl.Flush()
-				pw.Flush()
-			} else {
-				tl.SetASID(uint64(pid))
-				pw.SetASID(uint64(pid))
-			}
+			moved := s.Switch(pid)
+			cost := p.SwitchCycles + p.DescSwapCycles*float64(moved)
 			now += int64(cost)
 			if measuring {
 				measure.contextSwitch(cost)
@@ -143,13 +119,10 @@ func runMulti(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 		if !ok {
 			break
 		}
-		pfn := uint64(cur.asm.frames.Frame(va.VPN()))
 		refCycles := cur.spec.DataStallCycles + cur.spec.InstrPerRef*p.CPIBase
-		if !tl.LookupVA(va, pfn, cur.neighbors) {
-			w.Walk(now, cur.asm.table, va, &wr)
+		if s.Translate(now, va, &wr) {
 			now += int64(wr.Cycles)
 			refCycles += float64(wr.Cycles)
-			tl.InsertVA(va, wr.Huge, pfn, cur.neighbors)
 			walksTotal++
 			if measuring {
 				measure.walk(&wr, res)
@@ -168,8 +141,8 @@ func runMulti(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 	if !measuring {
 		// MaxRefs (or a replayed stream) ran out before warmup completed:
 		// report an empty window, not warmup-contaminated cumulative counters.
-		measure.begin(tl, engine, nil, mshr)
+		measure.begin(s.Counters())
 	}
-	measure.finish(res, tl, engine, nil, mshr)
+	measure.finish(res, s.Counters())
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/mmu"
 	"repro/internal/pwc"
 	"repro/internal/rng"
 	"repro/internal/workload"
@@ -192,7 +193,17 @@ type Scenario struct {
 	// native and single-process; Workload must be the trace header's spec
 	// (UseTrace returns a correctly formed Scenario).
 	Trace string
+	// Scheme selects the translation backend (see internal/mmu): "asap" (the
+	// paper's pipeline), "victima" or "revelator". Empty selects asap — the
+	// zero value every pre-scheme cell carries, so historical names, digests
+	// and memo keys are unchanged. Rival schemes are native-only and exclude
+	// ASAP prefetch configurations (Run validates both).
+	Scheme string
 }
+
+// SchemeName returns the scenario's translation scheme, resolving the empty
+// zero value to "asap".
+func (s Scenario) SchemeName() string { return mmu.Canonical(s.Scheme) }
 
 // CellKey is the stable, comparable identity of one simulation cell. Unlike
 // Scenario.Name it covers every field — the full workload spec and parameter
@@ -233,6 +244,9 @@ func (s Scenario) Name() string {
 	}
 	if s.Trace != "" {
 		n += "+trace[" + s.Trace + "]"
+	}
+	if s.Scheme != "" {
+		n += "+mmu[" + s.Scheme + "]"
 	}
 	return n + "/" + s.ASAP.String()
 }

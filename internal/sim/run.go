@@ -4,11 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
-	"repro/internal/core"
 	"repro/internal/mem"
-	"repro/internal/pwc"
+	"repro/internal/mmu"
 	"repro/internal/stats"
-	"repro/internal/tlb"
 	"repro/internal/walker"
 	"repro/internal/workload"
 )
@@ -33,15 +31,16 @@ type Result struct {
 	// (native-dimension accesses only).
 	Breakdown stats.Breakdown
 
-	// ASAP internals. RangeHitRate covers the native engine (or the guest
-	// engine under virtualization); HostRangeHitRate covers the host-dimension
-	// engine, which a virtualized walk consults once per guest-walk step.
-	// RangeOverflowed counts VMA descriptors dropped during the measured
-	// window because every range register was occupied. Single-process runs
-	// install all descriptors before warmup, so they report 0 here; under
-	// multi-process scheduling every switch-in restores the incoming
-	// process's descriptor file and the capacity-limited drops recur inside
-	// the window.
+	// Acceleration-path internals. RangeHitRate covers the scheme's primary
+	// mechanism — ASAP range-register lookups (or the guest engine under
+	// virtualization), Victima's L2 residency probes, Revelator's hash-table
+	// probes; HostRangeHitRate covers the host-dimension engine, which a
+	// virtualized walk consults once per guest-walk step. RangeOverflowed
+	// counts VMA descriptors dropped during the measured window because
+	// every range register was occupied. Single-process runs install all
+	// descriptors before warmup, so they report 0 here; under multi-process
+	// scheduling every switch-in restores the incoming process's descriptor
+	// file and the capacity-limited drops recur inside the window.
 	PrefetchIssued   uint64
 	PrefetchCovered  uint64
 	RangeHitRate     float64
@@ -116,9 +115,22 @@ func Run(sc Scenario, p Params) (*Result, error) {
 // pure observation and never perturbs the simulation).
 func RunTapped(sc Scenario, p Params, tap RefTap) (*Result, error) {
 	h := cache.NewHierarchy(p.Cache)
-	tl := tlb.NewTwoLevel(sc.ClusteredTLB)
 	mshr := cache.NewMSHRFile(p.MSHRs)
 	res := &Result{Scenario: sc}
+
+	if err := mmu.Validate(sc.Scheme); err != nil {
+		return res, err
+	}
+	if sc.SchemeName() != "asap" {
+		// Rival schemes replace the whole miss-handling path; combinations
+		// that would silently drop a requested dimension are rejected.
+		if sc.Virtualized {
+			return res, fmt.Errorf("sim: scheme %s is native-only (scenario %s)", sc.SchemeName(), sc.Name())
+		}
+		if sc.ASAP.Enabled() {
+			return res, fmt.Errorf("sim: scheme %s does not combine with ASAP prefetching (scenario %s)", sc.SchemeName(), sc.Name())
+		}
+	}
 
 	var co *workload.CoRunner
 	if sc.Colocated {
@@ -132,61 +144,49 @@ func RunTapped(sc Scenario, p Params, tap RefTap) (*Result, error) {
 		if sc.Virtualized {
 			return res, fmt.Errorf("sim: multi-process scheduling is native-only (Processes=%d with Virtualized)", p.Processes)
 		}
-		return res, runMulti(sc, p, h, tl, mshr, co, res, tap)
+		return res, runMulti(sc, p, h, mshr, co, res, tap)
 	}
 	if sc.Virtualized {
-		return res, runVirt(sc, p, h, tl, mshr, co, res, tap)
+		return res, runVirt(sc, p, h, mshr, co, res, tap)
 	}
-	return res, runNative(sc, p, h, tl, mshr, co, res, tap)
+	return res, runNative(sc, p, h, mshr, co, res, tap)
 }
 
-// engineFor loads descriptors into a fresh range-register file, or returns
-// nil for a disabled configuration.
-func engineFor(cfg core.Config, descs []*core.Descriptor, capacity int) *core.Engine {
-	if !cfg.Enabled() {
-		return nil
-	}
-	e := core.NewEngine(capacity, cfg)
-	for _, d := range descs {
-		e.Install(d)
-	}
-	return e
+// schemeFor constructs the scenario's native translation scheme over the
+// run's shared hierarchy and MSHR file.
+func schemeFor(sc Scenario, p Params, h *cache.Hierarchy, mshr *cache.MSHRFile) (mmu.Scheme, error) {
+	return mmu.New(sc.SchemeName(), mmu.Config{
+		Hier:           h,
+		MSHR:           mshr,
+		PWC:            p.PWC,
+		ClusteredTLB:   sc.ClusteredTLB,
+		ASAP:           sc.ASAP.Native,
+		RangeRegisters: p.RangeRegisters,
+		FlushOnSwitch:  p.FlushOnSwitch,
+	})
 }
 
-func runNative(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
-	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result, tap RefTap) error {
-	var asm *nativeAssembly
-	var src refSource
-	if sc.Trace != "" {
-		tr, err := traceByDigest(sc.Trace)
-		if err != nil {
-			return err
-		}
-		if asm, err = traceNativeFor(tr, sc.ASAP.Native.Enabled(), p); err != nil {
-			return err
-		}
-		src = tr.Replay()
-	} else {
-		var err error
-		if asm, err = nativeFor(sc.Workload, sc.ASAP.Native.Enabled(), p); err != nil {
-			return err
-		}
-		src = genSource{workload.NewGenerator(sc.Workload, asm.layout, p.Seed)}
+// process exposes a native assembly as the per-address-space state a
+// translation scheme consumes.
+func (a *nativeAssembly) process() *mmu.Process {
+	layout, frames := a.layout, a.frames
+	return &mmu.Process{
+		Table: a.table,
+		Frame: func(vpn uint64) uint64 { return uint64(frames.Frame(vpn)) },
+		Neighbors: func(vpn uint64) (uint64, bool) {
+			if !layout.PresentVPN(vpn) {
+				return 0, false
+			}
+			return uint64(frames.Frame(vpn)), true
+		},
+		Descs: a.descs,
 	}
-	src, err := tapped(src, tap, 0, sc.Workload, asm.layout, p.Seed)
-	if err != nil {
-		return err
-	}
-	engine := engineFor(sc.ASAP.Native, asm.descs, p.RangeRegisters)
-	w := &walker.Walker{H: h, PWC: pwc.New(p.PWC), ASAP: engine, MSHR: mshr}
+}
 
-	neighbors := func(vpn uint64) (uint64, bool) {
-		if !asm.layout.PresentVPN(vpn) {
-			return 0, false
-		}
-		return uint64(asm.frames.Frame(vpn)), true
-	}
-
+// drive replays a single-process reference stream through the scheme: the
+// shared measurement loop of the native, virtualized and trace-driven runs.
+func drive(sc Scenario, p Params, s mmu.Scheme, src refSource,
+	h *cache.Hierarchy, co *workload.CoRunner, res *Result) error {
 	var wr walker.Result
 	var now int64
 	measure := newMeter(sc.Workload, p)
@@ -195,7 +195,7 @@ func runNative(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 	measuring := false
 	for refs = 0; refs < p.MaxRefs; refs++ {
 		if !measuring && walksTotal >= p.WarmupWalks {
-			measure.begin(tl, engine, nil, mshr)
+			measure.begin(s.Counters())
 			measuring = true
 		}
 		if measuring && int(measure.walks) >= p.MeasureWalks {
@@ -205,13 +205,10 @@ func runNative(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 		if !ok {
 			break // the replayed trace ran dry
 		}
-		pfn := uint64(asm.frames.Frame(va.VPN()))
 		refCycles := sc.Workload.DataStallCycles + sc.Workload.InstrPerRef*p.CPIBase
-		if !tl.LookupVA(va, pfn, neighbors) {
-			w.Walk(now, asm.table, va, &wr)
+		if s.Translate(now, va, &wr) {
 			now += int64(wr.Cycles)
 			refCycles += float64(wr.Cycles)
-			tl.InsertVA(va, wr.Huge, pfn, neighbors)
 			walksTotal++
 			if measuring {
 				measure.walk(&wr, res)
@@ -235,81 +232,72 @@ func runNative(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
 		// The stream ended (a short trace, or MaxRefs) before warmup
 		// completed: report a clean empty window rather than folding warmup
 		// into the measurements.
-		measure.begin(tl, engine, nil, mshr)
+		measure.begin(s.Counters())
 	}
-	measure.finish(res, tl, engine, nil, mshr)
+	measure.finish(res, s.Counters())
 	return nil
 }
 
-func runVirt(sc Scenario, p Params, h *cache.Hierarchy, tl *tlb.TwoLevel,
+func runNative(sc Scenario, p Params, h *cache.Hierarchy,
+	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result, tap RefTap) error {
+	var asm *nativeAssembly
+	var src refSource
+	if sc.Trace != "" {
+		tr, err := traceByDigest(sc.Trace)
+		if err != nil {
+			return err
+		}
+		if asm, err = traceNativeFor(tr, sc.ASAP.Native.Enabled(), p); err != nil {
+			return err
+		}
+		src = tr.Replay()
+	} else {
+		var err error
+		if asm, err = nativeFor(sc.Workload, sc.ASAP.Native.Enabled(), p); err != nil {
+			return err
+		}
+		src = genSource{workload.NewGenerator(sc.Workload, asm.layout, p.Seed)}
+	}
+	src, err := tapped(src, tap, 0, sc.Workload, asm.layout, p.Seed)
+	if err != nil {
+		return err
+	}
+	s, err := schemeFor(sc, p, h, mshr)
+	if err != nil {
+		return err
+	}
+	s.Attach(0, asm.process())
+	s.Boot(0)
+	return drive(sc, p, s, src, h, co, res)
+}
+
+func runVirt(sc Scenario, p Params, h *cache.Hierarchy,
 	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result, tap RefTap) error {
 	asm, err := virtFor(sc.Workload, sc.ASAP.Guest.Enabled(), sc.ASAP.Host.Enabled(), sc.HostHugePages, p)
 	if err != nil {
 		return err
 	}
-	w := &walker.Nested{
-		H:         h,
-		GuestPWC:  pwc.New(p.PWC),
-		HostPWC:   pwc.New(p.PWC),
-		GuestASAP: engineFor(sc.ASAP.Guest, asm.guestDescs, p.RangeRegisters),
-		HostASAP:  engineFor(sc.ASAP.Host, asm.hostDescs, p.RangeRegisters),
-		MSHR:      mshr,
-		GuestPT:   asm.guestPT,
-		HostPT:    asm.ept,
-		Translate: asm.gmap.Translate,
-	}
+	s := mmu.NewNested(mmu.NestedConfig{
+		Hier:           h,
+		MSHR:           mshr,
+		PWC:            p.PWC,
+		ClusteredTLB:   sc.ClusteredTLB,
+		Guest:          sc.ASAP.Guest,
+		Host:           sc.ASAP.Host,
+		GuestDescs:     asm.guestDescs,
+		HostDescs:      asm.hostDescs,
+		RangeRegisters: p.RangeRegisters,
+		GuestPT:        asm.guestPT,
+		HostPT:         asm.ept,
+		Translate:      asm.gmap.Translate,
+		DataGPA:        asm.dataGPA,
+	})
 	src, err := tapped(genSource{workload.NewGenerator(sc.Workload, asm.layout, p.Seed)},
 		tap, 0, sc.Workload, asm.layout, p.Seed)
 	if err != nil {
 		return err
 	}
-
-	var wr walker.Result
-	var now int64
-	measure := newMeter(sc.Workload, p)
-	var walksTotal, refs int
-	var coDebt float64
-	measuring := false
-	for refs = 0; refs < p.MaxRefs; refs++ {
-		if !measuring && walksTotal >= p.WarmupWalks {
-			measure.begin(tl, w.GuestASAP, w.HostASAP, mshr)
-			measuring = true
-		}
-		if measuring && int(measure.walks) >= p.MeasureWalks {
-			break
-		}
-		va, ok := src.Next()
-		if !ok {
-			break
-		}
-		gpa := asm.dataGPA(va)
-		maddr := asm.gmap.Translate(gpa)
-		refCycles := sc.Workload.DataStallCycles + sc.Workload.InstrPerRef*p.CPIBase
-		if !tl.LookupVA(va, uint64(maddr.Frame()), nil) {
-			w.Walk(now, va, gpa, &wr)
-			now += int64(wr.Cycles)
-			refCycles += float64(wr.Cycles)
-			tl.InsertVA(va, wr.Huge, uint64(maddr.Frame()), nil)
-			walksTotal++
-			if measuring {
-				measure.walk(&wr, res)
-			}
-		}
-		if co != nil {
-			for coDebt += refCycles / p.CoAccessCycles; coDebt >= 1; coDebt-- {
-				h.Access(co.Next())
-			}
-		}
-		now += int64(sc.Workload.DataStallCycles)
-		if measuring {
-			measure.access()
-		}
-	}
-	if !measuring {
-		measure.begin(tl, w.GuestASAP, w.HostASAP, mshr)
-	}
-	measure.finish(res, tl, w.GuestASAP, w.HostASAP, mshr)
-	return nil
+	return drive(sc, p, s, src, h, co, res)
 }
 
 // meter accumulates measured-window statistics and the execution-time model.
@@ -340,26 +328,21 @@ func newMeter(spec workload.Spec, p Params) *meter {
 	return &meter{p: p, spec: spec}
 }
 
-// begin snapshots cumulative TLB, range-register and MSHR counters at the
-// warmup/measure boundary so finish can report measured-window deltas. Both
-// translation dimensions are snapshotted: engine is the native (or guest)
-// ASAP engine, host the host-dimension engine of a nested walk (nil outside
-// virtualization).
-func (m *meter) begin(tl *tlb.TwoLevel, engine, host *core.Engine, mshr *cache.MSHRFile) {
-	m.tlbAccesses0 = tl.Accesses
-	m.tlbMisses0 = tl.L2Misses
-	m.flushes0 = tl.Flushes
-	if engine != nil {
-		m.lookups0 = engine.Lookups()
-		m.rangeHits0 = engine.RangeHits()
-		m.overflowed0 = engine.Overflowed()
-	}
-	if host != nil {
-		m.hostLookups0 = host.Lookups()
-		m.hostHits0 = host.RangeHits()
-		m.hostOverflowed0 = host.Overflowed()
-	}
-	m.dropped0 = mshr.Dropped()
+// begin snapshots the scheme's cumulative counters at the warmup/measure
+// boundary so finish can report measured-window deltas. Counters the running
+// scheme has no counterpart for are zero in every snapshot, so their deltas
+// vanish — the meter needs no knowledge of which scheme ran.
+func (m *meter) begin(c mmu.Counters) {
+	m.tlbAccesses0 = c.TLBAccesses
+	m.tlbMisses0 = c.TLBL2Misses
+	m.flushes0 = c.TLBFlushes
+	m.lookups0 = c.Lookups
+	m.rangeHits0 = c.Hits
+	m.overflowed0 = c.Overflowed
+	m.hostLookups0 = c.HostLookups
+	m.hostHits0 = c.HostHits
+	m.hostOverflowed0 = c.HostOverflowed
+	m.dropped0 = c.MSHRDropped
 }
 
 func (m *meter) access() {
@@ -396,41 +379,37 @@ func (m *meter) walk(wr *walker.Result, res *Result) {
 	}
 }
 
-func (m *meter) finish(res *Result, tl *tlb.TwoLevel, engine, host *core.Engine, mshr *cache.MSHRFile) {
+func (m *meter) finish(res *Result, c mmu.Counters) {
 	res.Accesses = m.accesses
 	res.Walks = m.walks
 	res.WalkCycles = m.walkCycles
 	if m.walks > 0 {
 		res.AvgWalkLat = float64(m.walkCycles) / float64(m.walks)
 	}
-	if n := tl.Accesses - m.tlbAccesses0; n > 0 {
-		res.TLBMissRatio = float64(tl.L2Misses-m.tlbMisses0) / float64(n)
+	if n := c.TLBAccesses - m.tlbAccesses0; n > 0 {
+		res.TLBMissRatio = float64(c.TLBL2Misses-m.tlbMisses0) / float64(n)
 	}
 	instructions := float64(m.accesses) * m.spec.InstrPerRef
 	if m.multi {
 		instructions = m.instr
 	}
 	if instructions > 0 {
-		res.MPKI = float64(tl.L2Misses-m.tlbMisses0) / (instructions / 1000)
+		res.MPKI = float64(c.TLBL2Misses-m.tlbMisses0) / (instructions / 1000)
 	}
 	coreCycles := instructions * m.p.CPIBase
 	res.TotalCycles = coreCycles + m.dataCycles + float64(m.walkCycles) + m.switchCycles
 	if res.TotalCycles > 0 {
 		res.WalkFraction = float64(m.walkCycles) / res.TotalCycles
 	}
-	if engine != nil {
-		if lookups := engine.Lookups() - m.lookups0; lookups > 0 {
-			res.RangeHitRate = float64(engine.RangeHits()-m.rangeHits0) / float64(lookups)
-		}
-		res.RangeOverflowed += engine.Overflowed() - m.overflowed0
+	if lookups := c.Lookups - m.lookups0; lookups > 0 {
+		res.RangeHitRate = float64(c.Hits-m.rangeHits0) / float64(lookups)
 	}
-	if host != nil {
-		if lookups := host.Lookups() - m.hostLookups0; lookups > 0 {
-			res.HostRangeHitRate = float64(host.RangeHits()-m.hostHits0) / float64(lookups)
-		}
-		res.RangeOverflowed += host.Overflowed() - m.hostOverflowed0
+	res.RangeOverflowed += c.Overflowed - m.overflowed0
+	if lookups := c.HostLookups - m.hostLookups0; lookups > 0 {
+		res.HostRangeHitRate = float64(c.HostHits-m.hostHits0) / float64(lookups)
 	}
-	res.MSHRDropped = mshr.Dropped() - m.dropped0
+	res.RangeOverflowed += c.HostOverflowed - m.hostOverflowed0
+	res.MSHRDropped = c.MSHRDropped - m.dropped0
 	res.Switches = m.switches
-	res.ShootdownFlushes = tl.Flushes - m.flushes0
+	res.ShootdownFlushes = c.TLBFlushes - m.flushes0
 }

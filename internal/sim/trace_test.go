@@ -62,6 +62,8 @@ func TestRecordReplayFidelity(t *testing.T) {
 		{"baseline", Scenario{Workload: mcf}},
 		{"asap-p1p2", Scenario{Workload: mcf, ASAP: cfgTestP1P2()}},
 		{"colocated", Scenario{Workload: mcf, Colocated: true}},
+		{"victima", Scenario{Workload: mcf, Scheme: "victima"}},
+		{"revelator", Scenario{Workload: mcf, Scheme: "revelator"}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			live, bufs := recordScenario(t, tc.sc, p, false)
@@ -83,6 +85,7 @@ func TestRecordReplayFidelity(t *testing.T) {
 			tsc := UseTrace(tr)
 			tsc.ASAP = tc.sc.ASAP
 			tsc.Colocated = tc.sc.Colocated
+			tsc.Scheme = tc.sc.Scheme
 			replayed, err := Run(tsc, p)
 			if err != nil {
 				t.Fatal(err)
