@@ -1,0 +1,100 @@
+// Command asapd serves the simulator over HTTP: clients POST experiment-grid
+// or trace-replay jobs as JSON and poll for per-cell results. The service is
+// hardened for unattended operation — bounded queue with 429 backpressure, a
+// crash-safe persistent result store, per-job deadlines, and a graceful
+// SIGTERM drain.
+//
+// Usage:
+//
+//	asapd -addr :8080 -store /var/lib/asapd
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"cells":[{"workload":"mcf"}],"params":{"fast":true}}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -s localhost:8080/metrics
+//
+// On SIGTERM (or SIGINT) the service stops accepting jobs (503), finishes
+// queued and in-flight work within -drain, persists everything to the store,
+// and exits 0 on a clean drain (1 if the deadline forced an abort).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/asapd"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		storeDir   = flag.String("store", "", "persistent result store directory (empty = in-memory only)")
+		queueCap   = flag.Int("queue", 16, "job queue capacity (full queue returns 429)")
+		workers    = flag.Int("j", 0, "concurrent scenario simulations (0 = GOMAXPROCS)")
+		jobWorkers = flag.Int("jobworkers", 2, "jobs executing concurrently")
+		drain      = flag.Duration("drain", 60*time.Second, "shutdown drain deadline for in-flight work")
+	)
+	flag.Parse()
+
+	svc, err := asapd.New(asapd.Config{
+		Workers:    *workers,
+		QueueCap:   *queueCap,
+		JobWorkers: *jobWorkers,
+		StoreDir:   *storeDir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asapd:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asapd:", err)
+		return 1
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "asapd: listening on %s (store %q, queue %d)\n", ln.Addr(), *storeDir, *queueCap)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "asapd: serve:", err)
+		return 1
+	}
+	stop() // a second signal kills immediately instead of waiting out the drain
+	fmt.Fprintf(os.Stderr, "asapd: draining (deadline %s)\n", *drain)
+
+	deadline, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the service first: new submissions already get 503, but polls
+	// keep answering so clients can watch their jobs finish. The HTTP server
+	// itself shuts down last.
+	code := 0
+	if err := svc.Shutdown(deadline); err != nil {
+		fmt.Fprintln(os.Stderr, "asapd: drain deadline exceeded, in-flight work aborted")
+		code = 1
+	}
+	if err := srv.Shutdown(deadline); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "asapd: http shutdown:", err)
+		code = 1
+	}
+	if code == 0 {
+		fmt.Fprintln(os.Stderr, "asapd: clean drain, bye")
+	}
+	return code
+}

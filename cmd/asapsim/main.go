@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +47,7 @@ func main() {
 		procs     = flag.Int("procs", 1, "co-scheduled processes time-sharing the core (native only)")
 		mix       = flag.String("mix", "", "comma-separated co-scheduled workloads (with -procs; empty = replicate -workload)")
 		quantum   = flag.Int("quantum", 0, "mean scheduler quantum in references (0 = default)")
+		timeout   = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = none)")
 		flushSw   = flag.Bool("flushswitch", false, "flush TLBs/PWCs on context switch instead of ASID-tagged retention")
 	)
 	flag.Parse()
@@ -131,9 +134,19 @@ func main() {
 	// benchmarks.
 	r := runner.New(1)
 	defer r.Close()
-	res, err := r.Run(sc, p)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := r.RunCtx(ctx, sc, p)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sim:", err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "sim: timed out after %s (scenario %s)\n", *timeout, sc.Name())
+		} else {
+			fmt.Fprintln(os.Stderr, "sim:", err)
+		}
 		os.Exit(1)
 	}
 

@@ -25,12 +25,19 @@
 // DIR/<format>/ plus a grouped mean/std/CI95 summary under DIR/analysis/ —
 // in the format selected by -format (csv or json).
 //
+// -timeout D bounds the whole run: on expiry in-flight simulations abort at
+// the simulator's next context check, the exit code is 1, and stderr lists
+// every cell that completed before the deadline (memoized results that -out
+// artifacts already captured).
+//
 // -cpuprofile FILE and -memprofile FILE write pprof profiles of the whole run
 // (CPU samples while experiments execute; the live heap at exit), so perf
 // changes can be justified with `go tool pprof` evidence.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -64,6 +71,7 @@ func run() (exit int) {
 		format  = flag.String("format", "csv", "artifact format: csv or json")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = none); completed cells are listed on timeout")
 		tracef  = flag.String("trace", "", "reference-trace file for the trace-asap and compare-schemes experiments (record with asaptrace)")
 		scheme  = flag.String("scheme", "", "translation scheme for every cell ("+strings.Join(mmu.Names(), ", ")+"; empty = per-experiment default)")
 	)
@@ -146,10 +154,25 @@ func run() (exit int) {
 	r := runner.New(*jobs)
 	defer r.Close()
 	o.Runner = r
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		o.Ctx = ctx
+	}
 
 	code := 0
 	if err := exp.Run(*name, o); err != nil {
 		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			// A timed-out run is still worth something: say exactly which
+			// cells finished (their results are memoized and, with -out, in
+			// the artifact records collected so far).
+			done := r.Completed()
+			fmt.Fprintf(os.Stderr, "paperrepro: timed out after %s with %d cells completed:\n", *timeout, len(done))
+			for _, name := range done {
+				fmt.Fprintf(os.Stderr, "  %s\n", name)
+			}
+		}
 		code = 1
 	}
 	// Reporting happens on every path: the cache summary always, and the

@@ -1,0 +1,230 @@
+package asapd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Client talks to an asapd service and cooperates with its backpressure:
+// 429 (queue full) and 503 (draining/booting) responses are retried with
+// jittered exponential backoff, honoring Retry-After as a floor. The zero
+// value is not usable; set Base.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTPClient overrides the transport; nil uses http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per request (<= 0: 6).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (<= 0: 100ms); it doubles per
+	// attempt up to MaxDelay (<= 0: 5s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed drives the backoff jitter. Plumbed rather than drawn from a
+	// global source so client behavior in tests is deterministic.
+	Seed uint64
+	// Sleep overrides how the client waits between attempts; nil sleeps on
+	// a timer honoring ctx. Tests inject a recorder.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 6
+}
+
+func (c *Client) delays() (base, max time.Duration) {
+	base, max = c.BaseDelay, c.MaxDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	return base, max
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.Sleep != nil {
+		return c.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// backoff returns the wait before attempt n (0-based): exponential with
+// equal jitter — half the step is guaranteed, half is uniform random — so
+// simultaneous rejected clients spread out instead of re-colliding.
+func (c *Client) backoff(st *rng.Stream, attempt int, retryAfter time.Duration) time.Duration {
+	base, maxD := c.delays()
+	step := base << attempt
+	if step > maxD || step <= 0 {
+		step = maxD
+	}
+	d := step/2 + time.Duration(st.Uint64n(uint64(step/2)+1))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// retryAfter parses a Retry-After header (seconds form) as a backoff floor.
+func retryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// apiError is a non-retryable HTTP error response.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("asapd: HTTP %d: %s", e.Status, e.Msg)
+}
+
+func decodeError(resp *http.Response, body []byte) *apiError {
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := string(body)
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	return &apiError{Status: resp.StatusCode, Msg: msg}
+}
+
+// do issues one request with backpressure retries and decodes the JSON
+// response into out (when out is non-nil).
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	st := rng.New(c.Seed)
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			var floor time.Duration
+			if e, ok := lastErr.(*retryableError); ok {
+				floor = e.after
+			}
+			if err := c.sleep(ctx, c.backoff(st, attempt-1, floor)); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			// Transport errors (service still booting, connection reset mid-
+			// drain) are retryable like backpressure.
+			lastErr = &retryableError{err: err}
+			continue
+		}
+		respBody, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = &retryableError{err: err}
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			lastErr = &retryableError{err: decodeError(resp, respBody), after: retryAfter(resp)}
+			continue
+		case resp.StatusCode >= 400:
+			return decodeError(resp, respBody)
+		}
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(respBody, out)
+	}
+	return fmt.Errorf("asapd: giving up after %d attempts: %w", c.maxAttempts(), lastErr)
+}
+
+// retryableError wraps a backpressure rejection or transport failure with
+// its Retry-After floor.
+type retryableError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// SubmitJob submits spec and returns the accepted job's initial status.
+func (c *Client) SubmitJob(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", body, &st)
+	return st, err
+}
+
+// JobStatus fetches one job's current status.
+func (c *Client) JobStatus(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// WaitJob polls a job until it reaches the done state (or ctx ends),
+// returning its final status. poll <= 0 defaults to 250ms.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.JobStatus(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State == StateDone {
+			return st, nil
+		}
+		if err := c.sleep(ctx, poll); err != nil {
+			return st, err
+		}
+	}
+}
+
+// Metrics fetches the service's /metrics document.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	var m Metrics
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	return m, err
+}

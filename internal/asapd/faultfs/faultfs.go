@@ -1,0 +1,224 @@
+// Package faultfs puts the result store's filesystem behind a small
+// interface so tests can inject the failures that matter for crash safety —
+// failed writes, failed fsyncs, failed renames, and torn writes (a write
+// that reports success but leaves truncated bytes on disk, exactly what a
+// power cut between write-back and fsync produces).
+//
+// Faults are armed deterministically: each rule names an operation and the
+// 1-based occurrence it fires on, so a test expresses a whole fault schedule
+// ("the 3rd write is torn after 17 bytes, the 2nd rename fails") and replays
+// it exactly. No randomness, no timing dependence.
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File is the subset of *os.File the store's write path needs: write bytes,
+// force them to stable storage, close.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the result store runs on. The production
+// implementation is OS(); tests wrap it (or a throwaway temp-dir OS) in a
+// Faulty to inject failures.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	Create(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Glob(pattern string) ([]string, error)
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS returns the production FS backed by package os.
+func OS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Create(name string) (File, error)             { return os.Create(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Glob(pattern string) ([]string, error) {
+	return filepath.Glob(pattern)
+}
+
+// Op names a filesystem operation a fault can target.
+type Op string
+
+// The injectable operations.
+const (
+	OpCreate Op = "create"
+	OpWrite  Op = "write"
+	OpSync   Op = "sync"
+	OpRename Op = "rename"
+	OpRemove Op = "remove"
+	OpRead   Op = "read"
+)
+
+// ErrInjected is the default error returned by a firing fault.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Fault is one armed failure: it fires on the N-th occurrence (1-based) of
+// Op after arming. A zero Err injects ErrInjected. Torn applies to OpWrite
+// only: the write persists just KeepBytes of the buffer yet reports full
+// success — the caller believes the data is safe, the "disk" holds a
+// truncated record, and nothing fails until a later read. That is the
+// classic torn-write crash the store's digest check must catch.
+type Fault struct {
+	Op        Op
+	N         int
+	Err       error
+	Torn      bool
+	KeepBytes int
+}
+
+// Faulty wraps an FS with a deterministic fault schedule. Arm as many faults
+// as the scenario needs; every operation not matched by a fault passes
+// through unchanged. Faulty is safe for concurrent use.
+type Faulty struct {
+	inner FS
+
+	mu     sync.Mutex
+	counts map[Op]int
+	faults []Fault
+}
+
+// Wrap returns a Faulty passing everything through to inner until faults are
+// armed.
+func Wrap(inner FS) *Faulty {
+	return &Faulty{inner: inner, counts: map[Op]int{}}
+}
+
+// Arm appends faults to the schedule. Occurrence counting starts at Wrap
+// time; arming mid-test counts operations performed since Wrap.
+func (f *Faulty) Arm(faults ...Fault) {
+	f.mu.Lock()
+	f.faults = append(f.faults, faults...)
+	f.mu.Unlock()
+}
+
+// Reset clears the schedule and occurrence counters.
+func (f *Faulty) Reset() {
+	f.mu.Lock()
+	f.faults = nil
+	f.counts = map[Op]int{}
+	f.mu.Unlock()
+}
+
+// step counts one occurrence of op and returns the fault that fires on it,
+// if any.
+func (f *Faulty) step(op Op) (Fault, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	for _, ft := range f.faults {
+		if ft.Op == op && ft.N == f.counts[op] {
+			return ft, true
+		}
+	}
+	return Fault{}, false
+}
+
+func faultErr(ft Fault) error {
+	if ft.Err != nil {
+		return ft.Err
+	}
+	return ErrInjected
+}
+
+func (f *Faulty) MkdirAll(path string, perm fs.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Faulty) Create(name string) (File, error) {
+	if ft, hit := f.step(OpCreate); hit {
+		return nil, faultErr(ft)
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: file}, nil
+}
+
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	if ft, hit := f.step(OpRead); hit {
+		return nil, faultErr(ft)
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *Faulty) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	if ft, hit := f.step(OpWrite); hit {
+		if ft.Torn {
+			keep := min(ft.KeepBytes, len(data))
+			// Persist the prefix, report success: a torn write.
+			return f.inner.WriteFile(name, data[:keep], perm)
+		}
+		return faultErr(ft)
+	}
+	return f.inner.WriteFile(name, data, perm)
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if ft, hit := f.step(OpRename); hit {
+		return faultErr(ft)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Faulty) Remove(name string) error {
+	if ft, hit := f.step(OpRemove); hit {
+		return faultErr(ft)
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Faulty) Glob(pattern string) ([]string, error) {
+	return f.inner.Glob(pattern)
+}
+
+// faultyFile applies write/sync faults to one open file.
+type faultyFile struct {
+	fs    *Faulty
+	inner File
+}
+
+func (f *faultyFile) Write(p []byte) (int, error) {
+	if ft, hit := f.fs.step(OpWrite); hit {
+		if ft.Torn {
+			keep := min(ft.KeepBytes, len(p))
+			if _, err := f.inner.Write(p[:keep]); err != nil {
+				return 0, err
+			}
+			// Report the full length: the writer believes everything landed.
+			return len(p), nil
+		}
+		return 0, faultErr(ft)
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultyFile) Sync() error {
+	if ft, hit := f.fs.step(OpSync); hit {
+		return faultErr(ft)
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultyFile) Close() error { return f.inner.Close() }

@@ -1,0 +1,109 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPassThroughUntilArmed(t *testing.T) {
+	dir := t.TempDir()
+	f := Wrap(OS())
+	name := filepath.Join(dir, "a")
+	if err := f.WriteFile(name, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadFile(name)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := f.Rename(name, name+"2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Remove(name + "2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNthOccurrence proves the deterministic schedule: the fault fires on
+// exactly the armed occurrence, not before, not after.
+func TestNthOccurrence(t *testing.T) {
+	dir := t.TempDir()
+	f := Wrap(OS())
+	f.Arm(Fault{Op: OpWrite, N: 3})
+	for i, wantErr := range []bool{false, false, true, false} {
+		err := f.WriteFile(filepath.Join(dir, "x"), []byte("data"), 0o644)
+		if gotErr := err != nil; gotErr != wantErr {
+			t.Fatalf("write %d: err = %v, want failure=%v", i+1, err, wantErr)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("write %d: %v is not ErrInjected", i+1, err)
+		}
+	}
+}
+
+// TestTornWriteReportsSuccess checks the lying contract: a torn write
+// persists only KeepBytes yet reports the full length to the caller.
+func TestTornWriteReportsSuccess(t *testing.T) {
+	dir := t.TempDir()
+	f := Wrap(OS())
+	f.Arm(Fault{Op: OpWrite, N: 1, Torn: true, KeepBytes: 3})
+	name := filepath.Join(dir, "torn")
+	file, err := f.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := file.Write([]byte("full payload"))
+	if err != nil || n != len("full payload") {
+		t.Fatalf("torn write reported %d, %v; want full success", n, err)
+	}
+	if err := file.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(name)
+	if err != nil || string(got) != "ful" {
+		t.Fatalf("on-disk bytes = %q, %v; want the 3-byte prefix", got, err)
+	}
+}
+
+func TestCustomErrAndReset(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("boom")
+	f := Wrap(OS())
+	f.Arm(Fault{Op: OpRename, N: 1, Err: boom})
+	name := filepath.Join(dir, "y")
+	if err := f.WriteFile(name, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename(name, name+"2"); !errors.Is(err, boom) {
+		t.Fatalf("Rename = %v, want boom", err)
+	}
+	f.Reset()
+	// Counters and schedule are gone: the same occurrence passes now.
+	if err := f.Rename(name, name+"2"); err != nil {
+		t.Fatalf("Rename after Reset = %v", err)
+	}
+}
+
+// TestFileWritesShareTheCounter: writes through Create'd files and WriteFile
+// draw from one per-op sequence, so a schedule spans both paths.
+func TestFileWritesShareTheCounter(t *testing.T) {
+	dir := t.TempDir()
+	f := Wrap(OS())
+	f.Arm(Fault{Op: OpWrite, N: 2})
+	if err := f.WriteFile(filepath.Join(dir, "a"), []byte("1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	file, err := f.Create(filepath.Join(dir, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	if _, err := file.Write([]byte("2")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write = %v, want ErrInjected", err)
+	}
+}

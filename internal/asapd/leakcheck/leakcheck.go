@@ -1,0 +1,114 @@
+// Package leakcheck is a small, dependency-free goroutine-leak detector in
+// the spirit of go.uber.org/goleak, used by the runner and asapd shutdown
+// tests: a service that claims to have drained must leave zero goroutines
+// behind, and under -race a leaked worker is exactly the kind of bug that
+// only bites in production.
+//
+// Usage, first line of a test:
+//
+//	defer leakcheck.Check(t)()
+//
+// Check snapshots the goroutines alive at call time; the returned function
+// re-snapshots and fails the test if goroutines exist that were not running
+// at the start and are not on the always-benign allowlist. Because goroutine
+// shutdown is asynchronous (a worker closes its done channel before
+// returning), the final snapshot retries briefly before declaring a leak.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// maxStack bounds one all-goroutine stack snapshot. 1 MiB holds thousands of
+// goroutines — far beyond anything these tests spawn.
+const maxStack = 1 << 20
+
+// goroutine is one parsed stanza of a runtime.Stack(all=true) dump.
+type goroutine struct {
+	id    string // the numeric id from the "goroutine N [state]:" header
+	stack string // the full stanza, header included
+}
+
+// snapshot parses the current all-goroutine dump.
+func snapshot() []goroutine {
+	buf := make([]byte, maxStack)
+	n := runtime.Stack(buf, true)
+	var out []goroutine
+	for _, stanza := range strings.Split(string(buf[:n]), "\n\n") {
+		header, _, ok := strings.Cut(stanza, "\n")
+		if !ok || !strings.HasPrefix(header, "goroutine ") {
+			continue
+		}
+		id, _, _ := strings.Cut(strings.TrimPrefix(header, "goroutine "), " ")
+		out = append(out, goroutine{id: id, stack: stanza})
+	}
+	return out
+}
+
+// benign reports whether a goroutine is infrastructure that may come and go
+// regardless of the code under test: the testing framework itself, runtime
+// helpers, and the signal watcher the os/signal package starts lazily.
+func benign(g goroutine) bool {
+	for _, marker := range []string{
+		"testing.(*T).Run",         // the test runner's own goroutines
+		"testing.(*M).startAlarm",  // -timeout watchdog
+		"testing.runFuzzing",       // fuzz workers
+		"testing.tRunner.func",     // cleanup goroutines
+		"runtime.goexit0",          // exiting, header already parsed
+		"runtime.gc",               // GC background workers
+		"runtime.bgsweep",          // ...
+		"runtime.bgscavenge",       // ...
+		"runtime.forcegchelper",    // ...
+		"runtime.runfinq",          // finalizer goroutine
+		"os/signal.signal_recv",    // signal watcher, started once per process
+		"os/signal.loop",           // ...
+		"leakcheck.snapshot",       // this package taking the snapshot
+		"net/http.(*Server).Serve", // covered by the http.Server's own Close
+	} {
+		if strings.Contains(g.stack, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check snapshots running goroutines and returns the verification function;
+// defer it so it runs at test end. Verification retries for up to a second —
+// goroutine teardown is asynchronous even after a clean Close — and then
+// fails the test with the stacks of every goroutine it considers leaked.
+func Check(t testing.TB) func() {
+	t.Helper()
+	before := map[string]bool{}
+	for _, g := range snapshot() {
+		before[g.id] = true
+	}
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(time.Second)
+		var leaked []goroutine
+		for {
+			leaked = leaked[:0]
+			for _, g := range snapshot() {
+				if !before[g.id] && !benign(g) {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		var b strings.Builder
+		for _, g := range leaked {
+			fmt.Fprintf(&b, "\n%s\n", g.stack)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked:%s", len(leaked), b.String())
+	}
+}

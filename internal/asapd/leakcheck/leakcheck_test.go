@@ -1,0 +1,81 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder captures failures so the detector can be tested without failing
+// the real test.
+type recorder struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.failed = true
+	r.msg = format
+	for _, a := range args {
+		if s, ok := a.(string); ok {
+			r.msg += " " + s
+		}
+	}
+}
+
+func TestCleanTestPasses(t *testing.T) {
+	rec := &recorder{TB: t}
+	done := make(chan struct{})
+	verify := Check(rec)
+	go func() { close(done) }() // starts and exits before verification
+	<-done
+	verify()
+	if rec.failed {
+		t.Fatalf("clean run flagged as leaking: %s", rec.msg)
+	}
+}
+
+func TestLeakedGoroutineIsReported(t *testing.T) {
+	rec := &recorder{TB: t}
+	verify := Check(rec)
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() { // deliberately outlives verification
+		close(started)
+		<-stop
+	}()
+	<-started
+	start := time.Now()
+	verify()
+	close(stop)
+	if !rec.failed {
+		t.Fatal("leaked goroutine not reported")
+	}
+	if !strings.Contains(rec.msg, "leaked") {
+		t.Fatalf("unexpected failure message: %q", rec.msg)
+	}
+	// The retry loop must have tried for about a second before giving up.
+	if time.Since(start) < 900*time.Millisecond {
+		t.Fatalf("verification gave up after %v, want ~1s of retries", time.Since(start))
+	}
+}
+
+func TestPreexistingGoroutineIgnored(t *testing.T) {
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() { // alive before Check: must not count as a leak
+		close(started)
+		<-stop
+	}()
+	<-started
+	defer close(stop)
+
+	rec := &recorder{TB: t}
+	verify := Check(rec)
+	verify()
+	if rec.failed {
+		t.Fatalf("pre-existing goroutine flagged as leak: %s", rec.msg)
+	}
+}

@@ -1,0 +1,82 @@
+// Package queue is asapd's bounded job queue: a fixed-capacity FIFO whose
+// full state is a first-class outcome, not an error to retry blindly. The
+// service maps ErrFull to HTTP 429 + Retry-After — backpressure propagates
+// to clients instead of growing an unbounded in-memory backlog that a crash
+// would silently drop.
+package queue
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrFull reports a queue at capacity; the submitter should back off and
+// retry (the asapd client helper implements jittered exponential backoff).
+var ErrFull = errors.New("queue: full")
+
+// ErrClosed reports a queue that no longer accepts work (service draining).
+var ErrClosed = errors.New("queue: closed")
+
+// Queue is a bounded FIFO, safe for concurrent producers and consumers.
+type Queue[T any] struct {
+	ch chan T
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New returns a queue holding at most capacity items; capacity < 1 is
+// clamped to 1 (a zero-capacity queue could never accept work).
+func New[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue[T]{ch: make(chan T, capacity)}
+}
+
+// TryPush enqueues v without blocking. It returns ErrFull at capacity and
+// ErrClosed after Close — the two states a service must distinguish (retry
+// later vs go away).
+func (q *Queue[T]) TryPush(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	select {
+	case q.ch <- v:
+		return nil
+	default:
+		return ErrFull
+	}
+}
+
+// Pop dequeues the oldest item, blocking until one is available, the queue
+// is closed and drained (ok=false), or ctx ends (ok=false). Items pushed
+// before Close are always deliverable — draining consumers keep popping
+// until ok=false.
+func (q *Queue[T]) Pop(ctx context.Context) (v T, ok bool) {
+	select {
+	case v, ok = <-q.ch:
+		return v, ok
+	case <-ctx.Done():
+		return v, false
+	}
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.ch) }
+
+// Cap reports the queue's capacity.
+func (q *Queue[T]) Cap() int { return cap(q.ch) }
+
+// Close stops intake. Idempotent; queued items remain poppable.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}

@@ -1,0 +1,112 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFIFOAndBackpressure(t *testing.T) {
+	q := New[int](2)
+	if err := q.TryPush(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.TryPush(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.TryPush(3); !errors.Is(err, ErrFull) {
+		t.Fatalf("push at capacity returned %v, want ErrFull", err)
+	}
+	if got := q.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	for want := 1; want <= 2; want++ {
+		v, ok := q.Pop(context.Background())
+		if !ok || v != want {
+			t.Fatalf("Pop = %d,%v; want %d,true", v, ok, want)
+		}
+	}
+	// Capacity freed: intake resumes.
+	if err := q.TryPush(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseDrainsThenStops(t *testing.T) {
+	q := New[string](4)
+	q.TryPush("a")
+	q.TryPush("b")
+	q.Close()
+	q.Close() // idempotent
+	if err := q.TryPush("c"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close returned %v, want ErrClosed", err)
+	}
+	for _, want := range []string{"a", "b"} {
+		v, ok := q.Pop(context.Background())
+		if !ok || v != want {
+			t.Fatalf("Pop = %q,%v; want %q,true", v, ok, want)
+		}
+	}
+	if _, ok := q.Pop(context.Background()); ok {
+		t.Fatal("Pop on closed+drained queue reported ok")
+	}
+}
+
+func TestPopHonorsContext(t *testing.T) {
+	q := New[int](1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, ok := q.Pop(ctx); ok {
+		t.Fatal("Pop on empty queue returned ok")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Pop ignored the context deadline")
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New[int](8)
+	const items = 400
+	var got sync.Map
+	var consumers sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			for {
+				v, ok := q.Pop(context.Background())
+				if !ok {
+					return
+				}
+				got.Store(v, true)
+			}
+		}()
+	}
+	var producers sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		producers.Add(1)
+		go func(p int) {
+			defer producers.Done()
+			for i := 0; i < items/4; i++ {
+				v := p*(items/4) + i
+				for {
+					if err := q.TryPush(v); err == nil {
+						break
+					}
+					time.Sleep(time.Millisecond) // backpressure: retry
+				}
+			}
+		}(p)
+	}
+	producers.Wait()
+	q.Close()
+	consumers.Wait()
+	for i := 0; i < items; i++ {
+		if _, ok := got.Load(i); !ok {
+			t.Fatalf("item %d lost", i)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Entry encoding for the on-disk result store.
+//
+// An entry is a self-verifying record of one simulated cell:
+//
+//	offset  size  field
+//	0       8     magic "ASAPRES1"
+//	8       4     payload length (big-endian uint32)
+//	12      n     payload: JSON {key, result}
+//	12+n    8     FNV-64a digest of the payload (big-endian)
+//
+// The payload embeds the cell's full canonical key string, so a read
+// verifies three independent things before serving a result: the framing
+// (magic + exact length), the content (payload digest), and the identity
+// (the stored key equals the requested key — a digest collision or a
+// misplaced file can never serve the wrong cell's numbers). Decode returns
+// a wrapped ErrCorrupt for every malformed input; it never panics and never
+// returns a partially decoded result.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/sim"
+)
+
+const (
+	magic      = "ASAPRES1"
+	headerLen  = len(magic) + 4 // magic + payload length
+	trailerLen = 8              // payload digest
+)
+
+// maxPayload bounds a decoded payload. Real entries are a few KiB of JSON;
+// the bound keeps a corrupt length field from driving a huge allocation.
+const maxPayload = 16 << 20
+
+// ErrCorrupt marks an entry that failed structural, checksum or identity
+// verification. The store quarantines the file and treats the cell as a
+// miss.
+var ErrCorrupt = errors.New("store: corrupt entry")
+
+// payload is the JSON body of an entry.
+type payload struct {
+	Key    string      `json:"key"` // canonical cell key (CanonicalKey)
+	Result *sim.Result `json:"result"`
+}
+
+// CanonicalKey renders the full cell identity as a stable string. Scenario
+// and Params are flat structs of scalars and strings (the property the
+// runner's memo map already relies on), so their %+v rendering is canonical:
+// equal keys produce equal strings and vice versa.
+func CanonicalKey(key sim.CellKey) string {
+	return fmt.Sprintf("%+v|%+v", key.Scenario, key.Params)
+}
+
+// Encode serializes one cell result as a self-verifying entry.
+func Encode(key sim.CellKey, res *sim.Result) ([]byte, error) {
+	body, err := json.Marshal(payload{Key: CanonicalKey(key), Result: res})
+	if err != nil {
+		return nil, fmt.Errorf("store: encode: %w", err)
+	}
+	if len(body) > maxPayload {
+		return nil, fmt.Errorf("store: encode: payload %d bytes exceeds limit", len(body))
+	}
+	out := make([]byte, 0, headerLen+len(body)+trailerLen)
+	out = append(out, magic...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(body)))
+	out = append(out, body...)
+	h := fnv.New64a()
+	h.Write(body)
+	out = binary.BigEndian.AppendUint64(out, h.Sum64())
+	return out, nil
+}
+
+// Decode verifies and decodes an entry, checking that it records the cell
+// identified by key. Any structural damage — truncation, bad magic, length
+// mismatch, checksum mismatch, malformed JSON, or an identity mismatch —
+// returns an error wrapping ErrCorrupt.
+func Decode(data []byte, key sim.CellKey) (*sim.Result, error) {
+	if len(data) < headerLen+trailerLen {
+		return nil, fmt.Errorf("%w: %d bytes, shorter than framing", ErrCorrupt, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:len(magic)])
+	}
+	n := binary.BigEndian.Uint32(data[len(magic):headerLen])
+	if n > maxPayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrCorrupt, n)
+	}
+	if len(data) != headerLen+int(n)+trailerLen {
+		return nil, fmt.Errorf("%w: %d bytes, framing says %d", ErrCorrupt, len(data), headerLen+int(n)+trailerLen)
+	}
+	body := data[headerLen : headerLen+int(n)]
+	h := fnv.New64a()
+	h.Write(body)
+	if got, want := h.Sum64(), binary.BigEndian.Uint64(data[headerLen+int(n):]); got != want {
+		return nil, fmt.Errorf("%w: payload digest %016x, trailer says %016x", ErrCorrupt, got, want)
+	}
+	var p payload
+	if err := json.Unmarshal(body, &p); err != nil {
+		return nil, fmt.Errorf("%w: payload JSON: %v", ErrCorrupt, err)
+	}
+	if p.Result == nil {
+		return nil, fmt.Errorf("%w: payload carries no result", ErrCorrupt)
+	}
+	if want := CanonicalKey(key); p.Key != want {
+		return nil, fmt.Errorf("%w: entry records key %q, want %q", ErrCorrupt, p.Key, want)
+	}
+	return p.Result, nil
+}
+
+// KeyDigest names a cell's entry file: a 64-bit FNV-1a over the canonical
+// key, rendered as 16 hex digits. Collisions are tolerable because Decode
+// verifies the full key string — a colliding cell reads as corrupt-identity
+// and re-simulates rather than serving the wrong numbers.
+func KeyDigest(key sim.CellKey) string {
+	h := fnv.New64a()
+	h.Write([]byte(CanonicalKey(key)))
+	return fmt.Sprintf("%016x", h.Sum64())
+}

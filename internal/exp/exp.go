@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -49,6 +50,19 @@ type Options struct {
 	// native-only, so experiments with virtualized cells fail loudly under
 	// them rather than silently dropping the selection.
 	Scheme string
+	// Ctx, when non-nil, bounds every simulation of the run: on expiry or
+	// cancellation in-flight cells abort at the simulator's next context
+	// check and the experiment returns the context's error. Completed cells
+	// remain memoized in Runner (Runner.Completed lists them).
+	Ctx context.Context
+}
+
+// ctx returns the run's context (Background when none was set).
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // Default returns full-fidelity options writing to out.
@@ -100,9 +114,9 @@ func (o Options) run(sc sim.Scenario) (*cellResult, error) {
 		var r *sim.Result
 		var err error
 		if o.Runner != nil {
-			r, err = o.Runner.RunRepeat(sc, o.Params, i)
+			r, err = o.Runner.RunRepeatCtx(o.ctx(), sc, o.Params, i)
 		} else {
-			r, err = sim.Run(sc, o.Params.ForRepeat(i))
+			r, err = sim.RunCtx(o.ctx(), sc, o.Params.ForRepeat(i))
 		}
 		if err != nil {
 			return nil, err
@@ -137,7 +151,7 @@ func (o Options) prefetch(scs ...sim.Scenario) {
 	for _, sc := range scs {
 		sc = o.withScheme(sc)
 		for i := 0; i < o.repeats(); i++ {
-			o.Runner.SubmitRepeat(sc, o.Params, i)
+			o.Runner.SubmitRepeatCtx(o.ctx(), sc, o.Params, i)
 		}
 	}
 }

@@ -1,12 +1,14 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/asapd/leakcheck"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -23,8 +25,8 @@ func testScenario(t *testing.T, name string) sim.Scenario {
 
 // countingSim replaces the real simulator with a slow counter so the tests
 // observe exactly how many simulations the runner executes.
-func countingSim(n *atomic.Int64) func(sim.Scenario, sim.Params) (*sim.Result, error) {
-	return func(sc sim.Scenario, p sim.Params) (*sim.Result, error) {
+func countingSim(n *atomic.Int64) func(context.Context, sim.Scenario, sim.Params) (*sim.Result, error) {
+	return func(_ context.Context, sc sim.Scenario, p sim.Params) (*sim.Result, error) {
 		n.Add(1)
 		time.Sleep(5 * time.Millisecond) // widen the singleflight window
 		return &sim.Result{Scenario: sc}, nil
@@ -142,7 +144,7 @@ func TestDistinctCellsSimulateSeparately(t *testing.T) {
 func TestErrorSharedByAllRequesters(t *testing.T) {
 	boom := errors.New("boom")
 	r := New(2)
-	r.simulate = func(sim.Scenario, sim.Params) (*sim.Result, error) {
+	r.simulate = func(context.Context, sim.Scenario, sim.Params) (*sim.Result, error) {
 		time.Sleep(2 * time.Millisecond)
 		return nil, boom
 	}
@@ -172,6 +174,161 @@ func TestSubmitAfterCloseRunsInline(t *testing.T) {
 	}
 	if res == nil || sims.Load() != 1 {
 		t.Fatalf("submit after close: res=%v sims=%d, want inline execution", res, sims.Load())
+	}
+}
+
+// TestCancelledCellIsEvicted checks the cancellation contract: a cell that
+// fails with its submitter's context error is forgotten, so the next
+// submission of the same key re-simulates instead of inheriting a stale
+// cancellation; genuine results stay memoized.
+func TestCancelledCellIsEvicted(t *testing.T) {
+	defer leakcheck.Check(t)()
+	var sims atomic.Int64
+	r := New(2)
+	r.simulate = func(ctx context.Context, sc sim.Scenario, p sim.Params) (*sim.Result, error) {
+		sims.Add(1)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return &sim.Result{Scenario: sc}, nil
+	}
+	defer r.Close()
+
+	sc := testScenario(t, "mcf")
+	p := sim.DefaultParams()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the first submission runs already-cancelled
+	if _, err := r.RunCtx(ctx, sc, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled submission returned %v, want context.Canceled", err)
+	}
+	// A fresh submission must re-simulate and succeed.
+	res, err := r.RunCtx(context.Background(), sc, p)
+	if err != nil || res == nil {
+		t.Fatalf("resubmission after cancellation: res=%v err=%v", res, err)
+	}
+	if got := sims.Load(); got != 2 {
+		t.Fatalf("simulated %d times, want 2 (cancelled + retried)", got)
+	}
+	// The successful result is memoized again.
+	if _, err := r.Run(sc, p); err != nil {
+		t.Fatal(err)
+	}
+	if got := sims.Load(); got != 2 {
+		t.Fatalf("memoized result re-simulated (%d sims)", got)
+	}
+}
+
+// TestWaitCtxDoesNotCancelSimulation checks that bounding a wait leaves the
+// in-flight simulation intact for other requesters.
+func TestWaitCtxDoesNotCancelSimulation(t *testing.T) {
+	defer leakcheck.Check(t)()
+	release := make(chan struct{})
+	r := New(1)
+	r.simulate = func(_ context.Context, sc sim.Scenario, p sim.Params) (*sim.Result, error) {
+		<-release
+		return &sim.Result{Scenario: sc}, nil
+	}
+
+	sc := testScenario(t, "mcf")
+	p := sim.DefaultParams()
+	f := r.Submit(sc, p)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := f.WaitCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("bounded wait returned %v, want deadline exceeded", err)
+	}
+	close(release)
+	if res, err := f.Wait(); err != nil || res == nil {
+		t.Fatalf("simulation should have survived the abandoned wait: res=%v err=%v", res, err)
+	}
+	r.Close()
+}
+
+// TestCloseIdempotent locks in the documented lifecycle: double Close —
+// sequential and concurrent — is safe, and the pool is fully quiescent after.
+func TestCloseIdempotent(t *testing.T) {
+	defer leakcheck.Check(t)()
+	var sims atomic.Int64
+	r := New(2)
+	r.simulate = countingSim(&sims)
+	if _, err := r.Run(testScenario(t, "mcf"), sim.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close() // second sequential Close: must not hang or panic
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { // concurrent Closes on an already-closed runner
+			defer wg.Done()
+			r.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCloseRacesSubmit hammers Close against concurrent Submits: every
+// submitted Future must still complete (inline when it loses the race), with
+// no panics, deadlocks or leaked workers.
+func TestCloseRacesSubmit(t *testing.T) {
+	defer leakcheck.Check(t)()
+	var sims atomic.Int64
+	r := New(2)
+	r.simulate = func(_ context.Context, sc sim.Scenario, p sim.Params) (*sim.Result, error) {
+		sims.Add(1)
+		return &sim.Result{Scenario: sc}, nil
+	}
+
+	p := sim.DefaultParams()
+	names := []string{"mcf", "canneal", "redis", "mc80"}
+	var wg sync.WaitGroup
+	futures := make(chan *Future, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for rep := 0; rep < 8; rep++ {
+				futures <- r.SubmitRepeat(testScenario(t, names[i%len(names)]), p, rep)
+			}
+		}(i)
+	}
+	var closers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		closers.Add(1)
+		go func() { // Close lands mid-submission storm
+			defer closers.Done()
+			r.Close()
+		}()
+	}
+	wg.Wait()
+	close(futures)
+	for f := range futures {
+		if res, err := f.Wait(); err != nil || res == nil {
+			t.Fatalf("future lost across Close: res=%v err=%v", res, err)
+		}
+	}
+	closers.Wait()
+}
+
+func TestCompletedReportsFinishedCells(t *testing.T) {
+	var sims atomic.Int64
+	r := New(1)
+	r.simulate = countingSim(&sims)
+	defer r.Close()
+
+	p := sim.DefaultParams()
+	want := []string{}
+	for _, name := range []string{"mcf", "canneal"} {
+		sc := testScenario(t, name)
+		if _, err := r.Run(sc, p); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, sc.Name())
+	}
+	got := r.Completed()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Completed() = %v, want %v", got, want)
 	}
 }
 

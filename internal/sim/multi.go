@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/rng"
@@ -41,7 +43,7 @@ type mproc struct {
 // streams, so the pollution is identical under either switch policy. It
 // costs no simulated time (it happened concurrently with the quantum);
 // what it changes is where the incoming process's walks are served.
-func runMulti(sc Scenario, p Params, h *cache.Hierarchy,
+func runMulti(ctx context.Context, sc Scenario, p Params, h *cache.Hierarchy,
 	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result, tap RefTap) error {
 	mix, err := workload.MixFor(sc.Workload, sc.Mix, p.Processes)
 	if err != nil {
@@ -88,6 +90,9 @@ func runMulti(sc Scenario, p Params, h *cache.Hierarchy,
 	measuring := false
 	cur := procs[0]
 	for refs = 0; refs < p.MaxRefs; refs++ {
+		if refs&ctxCheckMask == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
 		if !measuring && walksTotal >= p.WarmupWalks {
 			measure.begin(s.Counters())
 			measuring = true

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -10,6 +11,13 @@ import (
 	"repro/internal/walker"
 	"repro/internal/workload"
 )
+
+// ctxCheckMask paces cancellation checks in the reference loops: the context
+// is polled every ctxCheckMask+1 references. 4096 keeps the poll far off the
+// hot path (one interface call per ~4k translate steps, ≤1% on the walk
+// micros per the bench guard) while still bounding how long a cancelled run
+// keeps simulating to a few microseconds.
+const ctxCheckMask = 4096 - 1
 
 // Result carries every metric the paper's tables and figures need.
 type Result struct {
@@ -107,13 +115,28 @@ func tapped(src refSource, tap RefTap, pid int, spec workload.Spec, layout *work
 
 // Run simulates one scenario cell and returns its metrics.
 func Run(sc Scenario, p Params) (*Result, error) {
-	return RunTapped(sc, p, nil)
+	return RunTappedCtx(context.Background(), sc, p, nil)
+}
+
+// RunCtx is Run under a context: the reference loops poll ctx every few
+// thousand references (see ctxCheckMask) and abort with ctx.Err() when it is
+// cancelled or its deadline passes, so a stuck or oversized cell cannot hold
+// a worker hostage. A cancelled run returns no partial metrics — callers that
+// want partial grids handle cancellation per cell (see internal/asapd).
+func RunCtx(ctx context.Context, sc Scenario, p Params) (*Result, error) {
+	return RunTappedCtx(ctx, sc, p, nil)
 }
 
 // RunTapped simulates one scenario cell with an optional reference tap
 // observing the reference stream (nil behaves exactly like Run — the tap is
 // pure observation and never perturbs the simulation).
 func RunTapped(sc Scenario, p Params, tap RefTap) (*Result, error) {
+	return RunTappedCtx(context.Background(), sc, p, tap)
+}
+
+// RunTappedCtx is RunTapped under a context (see RunCtx for the cancellation
+// contract).
+func RunTappedCtx(ctx context.Context, sc Scenario, p Params, tap RefTap) (*Result, error) {
 	h := cache.NewHierarchy(p.Cache)
 	mshr := cache.NewMSHRFile(p.MSHRs)
 	res := &Result{Scenario: sc}
@@ -144,12 +167,12 @@ func RunTapped(sc Scenario, p Params, tap RefTap) (*Result, error) {
 		if sc.Virtualized {
 			return res, fmt.Errorf("sim: multi-process scheduling is native-only (Processes=%d with Virtualized)", p.Processes)
 		}
-		return res, runMulti(sc, p, h, mshr, co, res, tap)
+		return res, runMulti(ctx, sc, p, h, mshr, co, res, tap)
 	}
 	if sc.Virtualized {
-		return res, runVirt(sc, p, h, mshr, co, res, tap)
+		return res, runVirt(ctx, sc, p, h, mshr, co, res, tap)
 	}
-	return res, runNative(sc, p, h, mshr, co, res, tap)
+	return res, runNative(ctx, sc, p, h, mshr, co, res, tap)
 }
 
 // schemeFor constructs the scenario's native translation scheme over the
@@ -185,7 +208,7 @@ func (a *nativeAssembly) process() *mmu.Process {
 
 // drive replays a single-process reference stream through the scheme: the
 // shared measurement loop of the native, virtualized and trace-driven runs.
-func drive(sc Scenario, p Params, s mmu.Scheme, src refSource,
+func drive(ctx context.Context, sc Scenario, p Params, s mmu.Scheme, src refSource,
 	h *cache.Hierarchy, co *workload.CoRunner, res *Result) error {
 	var wr walker.Result
 	var now int64
@@ -194,6 +217,9 @@ func drive(sc Scenario, p Params, s mmu.Scheme, src refSource,
 	var coDebt float64
 	measuring := false
 	for refs = 0; refs < p.MaxRefs; refs++ {
+		if refs&ctxCheckMask == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
 		if !measuring && walksTotal >= p.WarmupWalks {
 			measure.begin(s.Counters())
 			measuring = true
@@ -238,7 +264,7 @@ func drive(sc Scenario, p Params, s mmu.Scheme, src refSource,
 	return nil
 }
 
-func runNative(sc Scenario, p Params, h *cache.Hierarchy,
+func runNative(ctx context.Context, sc Scenario, p Params, h *cache.Hierarchy,
 	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result, tap RefTap) error {
 	var asm *nativeAssembly
 	var src refSource
@@ -268,10 +294,10 @@ func runNative(sc Scenario, p Params, h *cache.Hierarchy,
 	}
 	s.Attach(0, asm.process())
 	s.Boot(0)
-	return drive(sc, p, s, src, h, co, res)
+	return drive(ctx, sc, p, s, src, h, co, res)
 }
 
-func runVirt(sc Scenario, p Params, h *cache.Hierarchy,
+func runVirt(ctx context.Context, sc Scenario, p Params, h *cache.Hierarchy,
 	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result, tap RefTap) error {
 	asm, err := virtFor(sc.Workload, sc.ASAP.Guest.Enabled(), sc.ASAP.Host.Enabled(), sc.HostHugePages, p)
 	if err != nil {
@@ -297,7 +323,7 @@ func runVirt(sc Scenario, p Params, h *cache.Hierarchy,
 	if err != nil {
 		return err
 	}
-	return drive(sc, p, s, src, h, co, res)
+	return drive(ctx, sc, p, s, src, h, co, res)
 }
 
 // meter accumulates measured-window statistics and the execution-time model.

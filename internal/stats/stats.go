@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -16,6 +17,18 @@ import (
 // level — the data behind Fig 9.
 type Breakdown struct {
 	counts [6][cache.NumServedBy]uint64
+}
+
+// MarshalJSON serializes the count matrix, so results embedding a Breakdown
+// (sim.Result in the asapd result store) round-trip losslessly even though
+// the counts are unexported.
+func (b Breakdown) MarshalJSON() ([]byte, error) {
+	return json.Marshal(b.counts)
+}
+
+// UnmarshalJSON restores a matrix written by MarshalJSON.
+func (b *Breakdown) UnmarshalJSON(data []byte) error {
+	return json.Unmarshal(data, &b.counts)
 }
 
 // Add records one request to PT level `level` served at `served`.

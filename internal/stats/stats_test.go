@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -140,5 +141,24 @@ func TestFormatters(t *testing.T) {
 	}
 	if Ratio(2.66) != "2.7×" {
 		t.Fatalf("Ratio = %q", Ratio(2.66))
+	}
+}
+
+func TestBreakdownJSONRoundTrip(t *testing.T) {
+	var b Breakdown
+	b.Add(1, cache.ServedMem)
+	b.Add(4, cache.ServedPWC)
+	b.Add(4, cache.ServedPWC)
+	b.Add(3, cache.ServedL2)
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Breakdown
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != b {
+		t.Fatalf("round trip changed the breakdown: %v -> %v", b, got)
 	}
 }

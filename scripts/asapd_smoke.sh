@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# asapd_smoke.sh — end-to-end smoke of the simulation service over real HTTP:
+#
+#   1. boot asapd with a persistent store and wait for /healthz
+#   2. POST a fast experiment grid, poll it to completion
+#   3. assert the first run simulated (store misses > 0)
+#   4. resubmit the identical grid and assert every cell is a store hit
+#   5. SIGTERM the daemon and assert a clean drain (exit 0)
+#
+# Zero dependencies beyond curl and a go toolchain; used by CI and runnable
+# locally: scripts/asapd_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+ASAPD_PID=""
+cleanup() {
+  [ -n "$ASAPD_PID" ] && kill "$ASAPD_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$WORK/asapd" ./cmd/asapd
+
+echo "== boot"
+"$WORK/asapd" -addr "$ADDR" -store "$WORK/store" -drain 30s &
+ASAPD_PID=$!
+
+for i in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$ASAPD_PID" 2>/dev/null; then
+    echo "asapd died during boot" >&2; exit 1
+  fi
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+SPEC='{"cells":[{"workload":"mcf"},{"workload":"mcf","colocated":true}],"params":{"fast":true},"repeats":2}'
+
+# poll_done JOB_ID -> prints the final job JSON once state == done
+poll_done() {
+  local id="$1" json state
+  for i in $(seq 1 600); do
+    json=$(curl -fsS "$BASE/v1/jobs/$id")
+    state=$(echo "$json" | grep -o '"state": *"[a-z]*"' | head -1 | sed 's/.*"\([a-z]*\)"$/\1/')
+    if [ "$state" = "done" ]; then echo "$json"; return 0; fi
+    sleep 0.2
+  done
+  echo "job $id never finished" >&2
+  return 1
+}
+
+echo "== submit (cold: must simulate)"
+JOB1=$(curl -fsS -X POST "$BASE/v1/jobs" -d "$SPEC" | grep -o '"id": *"[^"]*"' | head -1 | cut -d'"' -f4)
+FINAL1=$(poll_done "$JOB1")
+if echo "$FINAL1" | grep -q '"error"'; then
+  echo "first job reported errors: $FINAL1" >&2; exit 1
+fi
+HITS1=$(echo "$FINAL1" | grep -c '"source": "store"' || true)
+SIM1=$(echo "$FINAL1" | grep -c '"source": "simulated"' || true)
+echo "   job $JOB1: $SIM1 simulated, $HITS1 from store"
+[ "$SIM1" -eq 4 ] || { echo "expected 4 simulated cells, got $SIM1" >&2; exit 1; }
+
+MISSES=$(curl -fsS "$BASE/metrics" | grep -o '"misses": *[0-9]*' | head -1 | grep -o '[0-9]*')
+[ "$MISSES" -gt 0 ] || { echo "store reported no misses after a cold run" >&2; exit 1; }
+
+echo "== resubmit (warm: must be 100% store hits)"
+JOB2=$(curl -fsS -X POST "$BASE/v1/jobs" -d "$SPEC" | grep -o '"id": *"[^"]*"' | head -1 | cut -d'"' -f4)
+FINAL2=$(poll_done "$JOB2")
+HITS2=$(echo "$FINAL2" | grep -c '"source": "store"' || true)
+echo "   job $JOB2: $HITS2 from store"
+[ "$HITS2" -eq 4 ] || { echo "expected 4 store-hit cells, got $HITS2" >&2; exit 1; }
+
+echo "== SIGTERM: clean drain expected"
+kill -TERM "$ASAPD_PID"
+DEADLINE=$((SECONDS + 45))
+while kill -0 "$ASAPD_PID" 2>/dev/null; do
+  if [ "$SECONDS" -ge "$DEADLINE" ]; then
+    echo "asapd did not exit within the drain window" >&2
+    kill -KILL "$ASAPD_PID"; exit 1
+  fi
+  sleep 0.2
+done
+RC=0; wait "$ASAPD_PID" || RC=$?
+[ "$RC" -eq 0 ] || { echo "asapd exited $RC, want 0 (clean drain)" >&2; exit 1; }
+
+echo "asapd smoke: OK"
