@@ -17,6 +17,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // An Analyzer describes one analysis pass: a named invariant checker that
@@ -47,7 +48,26 @@ type Pass struct {
 	// boundaries (keycomplete) consult it; per-package analyzers ignore it.
 	Program *Program
 
+	pkg         *Package
 	diagnostics *[]Diagnostic
+}
+
+// Shared returns the package-scoped result for key, computing it with compute
+// on the first request and serving every later request (including from other
+// analyzers in the same run) from a per-package cache. Analyzers use it to
+// share expensive derived structures — the CFG layer builds each package's
+// function graphs once and every dataflow analyzer consumes them. Keys follow
+// the context.Value convention: an unexported zero-size type per result.
+func (p *Pass) Shared(key any, compute func() any) any {
+	if p.pkg.shared == nil {
+		p.pkg.shared = map[any]any{}
+	}
+	if v, ok := p.pkg.shared[key]; ok {
+		return v
+	}
+	v := compute()
+	p.pkg.shared[key] = v
+	return v
 }
 
 // Reportf records a diagnostic at pos.
@@ -66,6 +86,11 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Position token.Position
 	Message  string
+
+	// Suppressed marks a diagnostic covered by a justified //lint: directive.
+	// Run drops these; RunAll returns them separately so tooling (asaplint
+	// -json) can surface what was silenced and why that is visible.
+	Suppressed bool
 }
 
 // A Package is one type-checked target package.
@@ -74,6 +99,8 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+
+	shared map[any]any // per-package cache behind Pass.Shared
 }
 
 // A Program is the set of target packages under analysis, dependencies before
@@ -85,13 +112,41 @@ type Program struct {
 	Pkgs []*Package
 }
 
+// A Timing records the wall-clock cost of one analyzer summed over every
+// target package in a run.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// A Result is the full outcome of one RunAll: surviving diagnostics,
+// diagnostics silenced by justified suppression directives, and per-analyzer
+// timings — all in deterministic order (diagnostics by position, timings by
+// suite order).
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  []Diagnostic
+	Timings     []Timing
+}
+
 // Run applies every analyzer to every target package of prog and returns the
 // surviving diagnostics sorted by position, with suppressed diagnostics (see
 // //lint:ignore in run.go) filtered out.
 func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	res, err := RunAll(prog, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
+}
+
+// RunAll is Run keeping everything: it also returns the suppressed
+// diagnostics (marked Suppressed) and how long each analyzer took.
+func RunAll(prog *Program, analyzers []*Analyzer) (*Result, error) {
 	var diags []Diagnostic
+	elapsed := make([]time.Duration, len(analyzers))
 	for _, pkg := range prog.Pkgs {
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			pass := &Pass{
 				Analyzer:    a,
 				Fset:        prog.Fset,
@@ -99,14 +154,28 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:         pkg.Types,
 				TypesInfo:   pkg.Info,
 				Program:     prog,
+				pkg:         pkg,
 				diagnostics: &diags,
 			}
-			if err := a.Run(pass); err != nil {
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[i] += time.Since(start)
+			if err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
 	}
-	diags = filterSuppressed(prog, diags)
+	kept, suppressed := partitionSuppressed(prog, diags)
+	sortDiagnostics(kept)
+	sortDiagnostics(suppressed)
+	res := &Result{Diagnostics: kept, Suppressed: suppressed}
+	for i, a := range analyzers {
+		res.Timings = append(res.Timings, Timing{Analyzer: a.Name, Elapsed: elapsed[i]})
+	}
+	return res, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i].Position, diags[j].Position
 		if a.Filename != b.Filename {
@@ -120,5 +189,4 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
 }

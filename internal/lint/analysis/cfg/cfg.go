@@ -1,0 +1,424 @@
+// Package cfg builds per-function control-flow graphs over go/ast and layers
+// the dataflow queries the lint suite's flow-sensitive analyzers share:
+// reachability, dominators, a must-pass-through path engine (PathExists /
+// PathToExit with a caller-supplied gate set), and reaching definitions.
+//
+// The graph is statement-level: each Block holds the statements (and branch
+// conditions) that execute unconditionally together, in source order. Short-
+// circuit operators do not split blocks — an if condition lives whole in the
+// branching block — which keeps the graph small and is precise enough for the
+// invariants this suite checks (a cancellation poll inside a condition still
+// dominates the branch it guards). Function literals are independent
+// functions: the builder never descends into a nested *ast.FuncLit, and
+// FuncCFGs gives every literal its own Graph.
+//
+// Terminators: return edges to the synthetic Exit block, as does an explicit
+// call to the panic builtin. A function can also leave through a runtime
+// panic anywhere, which no statement-level CFG models edge-by-edge; analyzers
+// that care about panic paths (lockcheck) treat "release only via defer" as
+// the panic-safe form, which the Defers list makes checkable.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A Block is a maximal run of statements with no internal control transfer.
+// Nodes holds the recorded statements and branch conditions in execution
+// order; Succs and Preds are the control-flow edges.
+type Block struct {
+	Index int
+	Kind  string // "entry", "if.then", "for.head", ... (for debugging/tests)
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// A Loop is one for or range statement: Head is the block that decides
+// another iteration, Latches are the blocks that jump back to Head (loop-body
+// ends, continue targets). "Poll on every cycle path" checks reduce to "poll
+// block dominates every latch".
+type Loop struct {
+	Stmt    ast.Stmt // *ast.ForStmt or *ast.RangeStmt
+	Head    *Block
+	Latches []*Block
+}
+
+// Branches records where an if statement's two arms start. The else block
+// always exists (synthesized for if-without-else), so edge facts like "cond
+// was false here" have a block to live on.
+type Branches struct {
+	Then, Else *Block
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	Fn     ast.Node // *ast.FuncDecl or *ast.FuncLit
+	Body   *ast.BlockStmt
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block // synthetic: every return/panic/fall-off edges here
+	Defers []*ast.DeferStmt
+	Loops  []*Loop
+
+	IfBranches map[*ast.IfStmt]Branches
+
+	reach []bool
+	idom  []int // immediate dominator per block index; -1 = none/unreachable
+	pos   map[ast.Node]nodePos
+}
+
+type nodePos struct {
+	block *Block
+	index int
+}
+
+// New builds the CFG for one function body. info may be nil; with type info
+// the builder recognizes a shadowed panic identifier and does not treat it as
+// terminating.
+func New(fn ast.Node, body *ast.BlockStmt, info *types.Info) *Graph {
+	g := &Graph{
+		Fn:         fn,
+		Body:       body,
+		IfBranches: map[*ast.IfStmt]Branches{},
+		pos:        map[ast.Node]nodePos{},
+	}
+	b := &builder{g: g, info: info, labels: map[string]*Block{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, g.Exit) // fall off the end = implicit return
+	for _, pg := range b.gotos {
+		if dst, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, dst)
+		} else {
+			b.edge(pg.from, g.Exit) // undeclared label: ill-typed input
+		}
+	}
+	g.finalize()
+	return g
+}
+
+type target struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select targets
+}
+
+type pendingGoto struct {
+	label string
+	from  *Block
+}
+
+type builder struct {
+	g       *Graph
+	info    *types.Info
+	cur     *Block
+	targets []target
+	labels  map[string]*Block
+	gotos   []pendingGoto
+	fall    *Block // fallthrough target inside the current case clause
+	label   string // pending label for the next breakable statement
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add records n as the next node of the current block.
+func (b *builder) add(n ast.Node) {
+	b.g.pos[n] = nodePos{b.cur, len(b.cur.Nodes)}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// dead replaces the current block with a fresh, predecessor-less block for
+// the statements that follow a terminator. They stay in the graph (and in
+// the pos map) but are unreachable.
+func (b *builder) dead() {
+	b.cur = b.newBlock("dead")
+}
+
+func (b *builder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		lb := b.newBlock("label." + s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.dead()
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, label, true)
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, label, false)
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if b.isPanic(s.X) {
+			b.edge(b.cur, b.g.Exit)
+			b.dead()
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// Assign, Decl, IncDec, Send, Go: straight-line statements.
+		b.add(s)
+	}
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if label == "" || t.label == label {
+				b.edge(b.cur, t.brk)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.cont != nil && (label == "" || t.label == label) {
+				b.edge(b.cur, t.cont)
+				break
+			}
+		}
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{label, b.cur})
+	case token.FALLTHROUGH:
+		if b.fall != nil {
+			b.edge(b.cur, b.fall)
+		}
+	}
+	b.dead()
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock("if.then")
+	els := b.newBlock("if.else")
+	b.edge(cond, then)
+	b.edge(cond, els)
+	b.g.IfBranches[s] = Branches{Then: then, Else: els}
+
+	b.cur = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+
+	b.cur = els
+	if s.Else != nil {
+		b.stmt(s.Else)
+	}
+	elseEnd := b.cur
+
+	join := b.newBlock("if.join")
+	b.edge(thenEnd, join)
+	b.edge(elseEnd, join)
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	body := b.newBlock("for.body")
+	after := b.newBlock("for.after")
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		cont = post
+	}
+	b.targets = append(b.targets, target{label, after, cont})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if post != nil {
+		b.edge(b.cur, post)
+		b.cur = post
+		b.add(s.Post)
+		b.edge(post, head)
+	} else {
+		b.edge(b.cur, head)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.g.Loops = append(b.g.Loops, &Loop{Stmt: s, Head: head, Latches: latchesOf(head)})
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	b.edge(b.cur, head)
+	b.cur = head
+	b.add(s) // the range clause itself: key/value assignment + iteration test
+	body := b.newBlock("range.body")
+	after := b.newBlock("range.after")
+	b.edge(head, body)
+	b.edge(head, after)
+	b.targets = append(b.targets, target{label, after, head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, head)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.g.Loops = append(b.g.Loops, &Loop{Stmt: s, Head: head, Latches: latchesOf(head)})
+	b.cur = after
+}
+
+// latchesOf is every predecessor of a loop head except the initial entry
+// edge, which the builders above always wire first.
+func latchesOf(head *Block) []*Block {
+	if len(head.Preds) <= 1 {
+		return nil
+	}
+	return append([]*Block(nil), head.Preds[1:]...)
+}
+
+func (b *builder) switchBody(body *ast.BlockStmt, label string, valueSwitch bool) {
+	head := b.cur
+	after := b.newBlock("switch.after")
+	b.targets = append(b.targets, target{label, after, nil})
+	clauses := body.List
+	caseBlocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		caseBlocks[i] = b.newBlock("switch.case")
+		b.edge(head, caseBlocks[i])
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	prevFall := b.fall
+	for i, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.fall = nil
+		if valueSwitch && i+1 < len(clauses) {
+			b.fall = caseBlocks[i+1]
+		}
+		b.cur = caseBlocks[i]
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.fall = prevFall
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	b.add(s) // the select itself is a node: without a default it blocks here
+	head := b.cur
+	after := b.newBlock("select.after")
+	b.targets = append(b.targets, target{label, after, nil})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		cb := b.newBlock("select.case")
+		b.edge(head, cb)
+		b.cur = cb
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+// isPanic reports whether x is a call to the panic builtin.
+func (b *builder) isPanic(x ast.Expr) bool {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	if b.info != nil {
+		if obj := b.info.Uses[id]; obj != nil {
+			_, builtin := obj.(*types.Builtin)
+			return builtin
+		}
+	}
+	return true
+}

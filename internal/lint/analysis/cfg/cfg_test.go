@@ -1,0 +1,439 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// buildFunc parses src (a complete file), type-checks it, and returns the
+// graph of the function named name plus the type info.
+func buildFunc(t *testing.T, src, name string) (*Graph, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name && fd.Body != nil {
+			return New(fd, fd.Body, info), info
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil, nil
+}
+
+// nodeCalls reports whether n contains a call to a method named name.
+func nodeCalls(n ast.Node, name string) bool {
+	found := false
+	InspectLocal(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == name {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// findNode returns the first recorded node for which pred is true.
+func findNode(g *Graph, pred func(ast.Node) bool) ast.Node {
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if pred(n) {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+func TestIfElseBranches(t *testing.T) {
+	g, _ := buildFunc(t, `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	}
+	return x
+}`, "f")
+	if len(g.IfBranches) != 1 {
+		t.Fatalf("IfBranches = %d, want 1", len(g.IfBranches))
+	}
+	for _, br := range g.IfBranches {
+		if br.Else == nil {
+			t.Fatal("no synthesized else block")
+		}
+		if !g.Reachable(br.Then) || !g.Reachable(br.Else) {
+			t.Fatal("branch blocks unreachable")
+		}
+	}
+}
+
+func TestReturnMakesFollowingUnreachable(t *testing.T) {
+	g, _ := buildFunc(t, `package p
+func f() int {
+	return 1
+	x := 2
+	return x
+}`, "f")
+	var returns []ast.Node
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returns = append(returns, n)
+			}
+		}
+	}
+	if len(returns) != 2 {
+		t.Fatalf("returns = %d, want 2", len(returns))
+	}
+	b0, _ := g.BlockOf(returns[0])
+	b1, _ := g.BlockOf(returns[1])
+	if !g.Reachable(b0) {
+		t.Fatal("first return unreachable")
+	}
+	if g.Reachable(b1) {
+		t.Fatal("dead return reported reachable")
+	}
+}
+
+func TestPanicEdgesToExit(t *testing.T) {
+	g, _ := buildFunc(t, `package p
+func f(c bool) {
+	if c {
+		panic("boom")
+	}
+	println("after")
+}`, "f")
+	p := findNode(g, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	})
+	if p == nil {
+		t.Fatal("panic node not recorded")
+	}
+	pb, _ := g.BlockOf(p)
+	toExit := false
+	for _, s := range pb.Succs {
+		if s == g.Exit {
+			toExit = true
+		}
+	}
+	if !toExit {
+		t.Fatal("panic block has no edge to exit")
+	}
+	// The statement after the if is still reachable through the else edge.
+	after := findNode(g, isPrintln)
+	if after == nil {
+		t.Fatal("println node not recorded")
+	}
+	ab, _ := g.BlockOf(after)
+	if !g.Reachable(ab) {
+		t.Fatal("statement after guarded panic should be reachable")
+	}
+}
+
+func isPrintln(n ast.Node) bool {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "println"
+}
+
+func TestLoopHeadAndLatches(t *testing.T) {
+	g, _ := buildFunc(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		s += i
+	}
+	return s
+}`, "f")
+	if len(g.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(g.Loops))
+	}
+	l := g.Loops[0]
+	if len(l.Latches) == 0 {
+		t.Fatal("loop has no latches")
+	}
+	for _, latch := range l.Latches {
+		hasHead := false
+		for _, s := range latch.Succs {
+			if s == l.Head {
+				hasHead = true
+			}
+		}
+		if !hasHead {
+			t.Fatalf("latch %d has no back edge to head", latch.Index)
+		}
+	}
+	// The head decides the loop, so it must dominate every latch.
+	for _, latch := range l.Latches {
+		if g.Reachable(latch) && !g.Dominates(l.Head, latch) {
+			t.Fatalf("head does not dominate latch %d", latch.Index)
+		}
+	}
+}
+
+func TestDeferRecorded(t *testing.T) {
+	g, _ := buildFunc(t, `package p
+func f() {
+	defer println("x")
+	println("y")
+}`, "f")
+	if len(g.Defers) != 1 {
+		t.Fatalf("defers = %d, want 1", len(g.Defers))
+	}
+}
+
+func TestSwitchFallthroughAndBreak(t *testing.T) {
+	g, _ := buildFunc(t, `package p
+func f(x int) int {
+	r := 0
+	switch x {
+	case 1:
+		r = 1
+		fallthrough
+	case 2:
+		r = 2
+	default:
+		r = 3
+	}
+	return r
+}`, "f")
+	// All three case assignments must be reachable.
+	count := 0
+	for _, b := range g.Blocks {
+		if !g.Reachable(b) {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+				count++
+			}
+		}
+	}
+	if count != 3 {
+		t.Fatalf("reachable case assignments = %d, want 3", count)
+	}
+}
+
+func TestSelectBlocksWithoutDefault(t *testing.T) {
+	g, _ := buildFunc(t, `package p
+func f(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case ch <- 1:
+		return 0
+	}
+}`, "f")
+	sel := findNode(g, func(n ast.Node) bool { _, ok := n.(*ast.SelectStmt); return ok })
+	if sel == nil {
+		t.Fatal("select not recorded as a node")
+	}
+	sb, _ := g.BlockOf(sel)
+	// No default: the select head must not edge straight to the join.
+	for _, s := range sb.Succs {
+		if s.Kind == "select.after" {
+			t.Fatal("select without default has a fall-through edge")
+		}
+	}
+}
+
+func TestGotoBackEdge(t *testing.T) {
+	g, _ := buildFunc(t, `package p
+func f(n int) int {
+	i := 0
+loop:
+	i++
+	if i < n {
+		goto loop
+	}
+	return i
+}`, "f")
+	// The goto must create a cycle: the label block is its own ancestor.
+	var label *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "label.loop" {
+			label = b
+		}
+	}
+	if label == nil {
+		t.Fatal("label block missing")
+	}
+	if len(label.Preds) < 2 {
+		t.Fatalf("label block preds = %d, want >= 2 (entry + goto)", len(label.Preds))
+	}
+}
+
+func TestPathToExitGates(t *testing.T) {
+	src := `package p
+type mutex struct{}
+func (mutex) Lock()   {}
+func (mutex) Unlock() {}
+var mu mutex
+func ok(c bool) {
+	mu.Lock()
+	if c {
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+}
+func leak(c bool) {
+	mu.Lock()
+	if c {
+		return
+	}
+	mu.Unlock()
+}`
+	unlock := func(n ast.Node) bool { return nodeCalls(n, "Unlock") }
+	lockNode := func(g *Graph) ast.Node {
+		return findNode(g, func(n ast.Node) bool { return nodeCalls(n, "Lock") && !nodeCalls(n, "Unlock") })
+	}
+
+	g, _ := buildFunc(t, src, "ok")
+	if g.PathToExit(lockNode(g), unlock) {
+		t.Fatal("ok: reported a path to exit that skips Unlock")
+	}
+	g, _ = buildFunc(t, src, "leak")
+	if !g.PathToExit(lockNode(g), unlock) {
+		t.Fatal("leak: missed the early return that skips Unlock")
+	}
+}
+
+func TestPathExistsAroundLoop(t *testing.T) {
+	g, _ := buildFunc(t, `package p
+type mutex struct{}
+func (mutex) Lock()   {}
+func (mutex) Unlock() {}
+var mu mutex
+func f(n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		mu.Unlock()
+	}
+}`, "f")
+	lock := findNode(g, func(n ast.Node) bool { return nodeCalls(n, "Lock") && !nodeCalls(n, "Unlock") })
+	unlock := func(n ast.Node) bool { return nodeCalls(n, "Unlock") }
+	// Lock to the same Lock around the loop always passes Unlock.
+	if g.PathExists(lock, lock, unlock) {
+		t.Fatal("found a Lock->Lock path that skips Unlock")
+	}
+	if !g.PathExists(lock, lock, nil) {
+		t.Fatal("no Lock->Lock path around the loop at all")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	g, _ := buildFunc(t, `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, "f")
+	var br Branches
+	for _, b := range g.IfBranches {
+		br = b
+	}
+	ret := findNode(g, func(n ast.Node) bool { _, ok := n.(*ast.ReturnStmt); return ok })
+	rb, _ := g.BlockOf(ret)
+	if g.Dominates(br.Then, rb) || g.Dominates(br.Else, rb) {
+		t.Fatal("a single branch arm must not dominate the join")
+	}
+	if !g.Dominates(g.Entry, rb) {
+		t.Fatal("entry must dominate the return")
+	}
+}
+
+func TestReachingDefs(t *testing.T) {
+	g, info := buildFunc(t, `package p
+func f(c bool, p *int) *int {
+	if c {
+		p = nil
+	}
+	return p
+}`, "f")
+	ret := findNode(g, func(n ast.Node) bool { _, ok := n.(*ast.ReturnStmt); return ok })
+	var pObj types.Object
+	for id, obj := range info.Defs {
+		if id.Name == "p" && obj != nil {
+			pObj = obj
+		}
+	}
+	if pObj == nil {
+		t.Fatal("no object for p")
+	}
+	d := g.Definitions(info)
+	defs := d.Reaching(pObj, ret)
+	if len(defs) != 2 {
+		t.Fatalf("defs reaching return = %d, want 2 (param + nil assignment)", len(defs))
+	}
+	hasParam := false
+	for _, def := range defs {
+		if def.Param {
+			hasParam = true
+		}
+	}
+	if !hasParam {
+		t.Fatal("parameter pseudo-definition missing")
+	}
+}
+
+func TestReachingDefsKilled(t *testing.T) {
+	g, info := buildFunc(t, `package p
+func f(p *int) *int {
+	p = new(int)
+	return p
+}`, "f")
+	ret := findNode(g, func(n ast.Node) bool { _, ok := n.(*ast.ReturnStmt); return ok })
+	var pObj types.Object
+	for id, obj := range info.Defs {
+		if id.Name == "p" && obj != nil {
+			pObj = obj
+		}
+	}
+	d := g.Definitions(info)
+	defs := d.Reaching(pObj, ret)
+	if len(defs) != 1 || defs[0].Param {
+		t.Fatalf("want exactly the new(int) assignment to reach the return, got %d defs", len(defs))
+	}
+}

@@ -1,0 +1,228 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// finalize computes reachability from Entry and immediate dominators over the
+// reachable subgraph (Cooper/Harvey/Kennedy iterative algorithm).
+func (g *Graph) finalize() {
+	n := len(g.Blocks)
+	g.reach = make([]bool, n)
+	var stack []*Block
+	stack = append(stack, g.Entry)
+	g.reach[g.Entry.Index] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !g.reach[s.Index] {
+				g.reach[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+
+	// Reverse postorder over reachable blocks.
+	post := make([]*Block, 0, n)
+	state := make([]int, n) // 0 unvisited, 1 on stack, 2 done
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		state[b.Index] = 1
+		for _, s := range b.Succs {
+			if state[s.Index] == 0 {
+				dfs(s)
+			}
+		}
+		state[b.Index] = 2
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	rpo := make([]*Block, 0, len(post))
+	rpoNum := make([]int, n)
+	for i := len(post) - 1; i >= 0; i-- {
+		rpoNum[post[i].Index] = len(rpo)
+		rpo = append(rpo, post[i])
+	}
+
+	g.idom = make([]int, n)
+	for i := range g.idom {
+		g.idom[i] = -1
+	}
+	g.idom[g.Entry.Index] = g.Entry.Index
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = g.idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = g.idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			newIdom := -1
+			for _, p := range b.Preds {
+				if !g.reach[p.Index] || g.idom[p.Index] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = p.Index
+				} else {
+					newIdom = intersect(p.Index, newIdom)
+				}
+			}
+			if newIdom >= 0 && g.idom[b.Index] != newIdom {
+				g.idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+// Reachable reports whether b is reachable from Entry.
+func (g *Graph) Reachable(b *Block) bool { return g.reach[b.Index] }
+
+// Dominates reports whether a dominates b (reflexively): every path from
+// Entry to b passes through a. Unreachable blocks are dominated by nothing
+// and dominate nothing.
+func (g *Graph) Dominates(a, b *Block) bool {
+	if !g.reach[a.Index] || !g.reach[b.Index] {
+		return false
+	}
+	for i := b.Index; ; i = g.idom[i] {
+		if i == a.Index {
+			return true
+		}
+		if i == g.Entry.Index || g.idom[i] < 0 {
+			return false
+		}
+	}
+}
+
+// DominatesNode is Dominates lifted to recorded nodes: within one block,
+// earlier nodes dominate later ones.
+func (g *Graph) DominatesNode(a, b ast.Node) bool {
+	pa, oka := g.Locate(a)
+	pb, okb := g.Locate(b)
+	if !oka || !okb {
+		return false
+	}
+	if pa.block == pb.block {
+		return g.reach[pa.block.Index] && pa.index <= pb.index
+	}
+	return g.Dominates(pa.block, pb.block) && pa.block != pb.block
+}
+
+// BlockOf returns the block holding n (or the recorded node enclosing n),
+// and false if n is not part of this function.
+func (g *Graph) BlockOf(n ast.Node) (*Block, bool) {
+	p, ok := g.Locate(n)
+	if !ok {
+		return nil, false
+	}
+	return p.block, true
+}
+
+// Locate finds the position of n in the graph. If n was not recorded
+// directly (it is a sub-expression of a statement or condition), the
+// smallest recorded node whose source span contains n is used. The caller
+// must not pass nodes from a nested function literal; those belong to the
+// literal's own Graph.
+func (g *Graph) Locate(n ast.Node) (nodePos, bool) {
+	if p, ok := g.pos[n]; ok {
+		return p, true
+	}
+	var best nodePos
+	bestSpan := token.Pos(-1)
+	found := false
+	for r, p := range g.pos {
+		if r.Pos() <= n.Pos() && n.End() <= r.End() {
+			span := r.End() - r.Pos()
+			if !found || span < bestSpan {
+				best, bestSpan, found = p, span, true
+			}
+		}
+	}
+	return best, found
+}
+
+// PathExists reports whether control can flow from just after `from` to `to`
+// without first executing a node for which avoid returns true. Both nodes
+// must belong to this function; avoid may be nil. The gate is checked on
+// every recorded node strictly between the two, including around loop back
+// edges, so "no path from Lock to Lock that does not pass Unlock" and
+// "every path from Create to this return passes a Remove" are direct calls.
+func (g *Graph) PathExists(from, to ast.Node, avoid func(ast.Node) bool) bool {
+	fp, ok := g.Locate(from)
+	if !ok {
+		return false
+	}
+	tp, ok := g.Locate(to)
+	if !ok {
+		return false
+	}
+	return g.search(fp, &tp, avoid)
+}
+
+// PathToExit reports whether control can reach function exit from just after
+// `from` without first executing a node for which avoid returns true. Exit
+// here means any return, explicit panic, or falling off the end — a defer
+// registration en route counts as a node like any other, so passing defer
+// statements as gates models "released or deferred on every path out".
+func (g *Graph) PathToExit(from ast.Node, avoid func(ast.Node) bool) bool {
+	fp, ok := g.Locate(from)
+	if !ok {
+		return false
+	}
+	return g.search(fp, nil, avoid)
+}
+
+// search walks forward from fp. A nil target means the Exit block.
+func (g *Graph) search(fp nodePos, tp *nodePos, avoid func(ast.Node) bool) bool {
+	// scan visits b.Nodes[start:]; it reports (blocked, found).
+	scan := func(b *Block, start int) (bool, bool) {
+		for i := start; i < len(b.Nodes); i++ {
+			if tp != nil && b == tp.block && i == tp.index {
+				return false, true
+			}
+			if avoid != nil && avoid(b.Nodes[i]) {
+				return true, false
+			}
+		}
+		return false, false
+	}
+	blocked, found := scan(fp.block, fp.index+1)
+	if found {
+		return true
+	}
+	if blocked {
+		return false
+	}
+	seen := make([]bool, len(g.Blocks))
+	queue := append([]*Block(nil), fp.block.Succs...)
+	for len(queue) > 0 {
+		b := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		if tp == nil && b == g.Exit {
+			return true
+		}
+		blocked, found := scan(b, 0)
+		if found {
+			return true
+		}
+		if blocked {
+			continue
+		}
+		queue = append(queue, b.Succs...)
+	}
+	return false
+}

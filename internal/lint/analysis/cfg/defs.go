@@ -1,0 +1,235 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A Def is one definition site of a local variable: an assignment, a short
+// declaration, a range clause binding, an inc/dec, or — for parameters,
+// receivers and named results — a pseudo-definition at function entry.
+type Def struct {
+	Obj   types.Object
+	Ident *ast.Ident // the identifier being assigned
+	Rhs   ast.Expr   // the assigned expression when syntactically evident, else nil
+	Param bool       // function-entry pseudo-definition
+}
+
+// Defs is the reaching-definitions result for one function: for any local
+// object and program point, which definition sites may supply its value.
+type Defs struct {
+	g     *Graph
+	defs  []*Def
+	byObj map[types.Object][]int
+	// sites[b][i] lists defs produced by block b's node i, in order.
+	sites map[*Block]map[int][]int
+	in    [][]uint64
+}
+
+// Definitions computes reaching definitions over the graph. info must be the
+// package's types.Info (the engine keys definitions by types.Object).
+func (g *Graph) Definitions(info *types.Info) *Defs {
+	d := &Defs{
+		g:     g,
+		byObj: map[types.Object][]int{},
+		sites: map[*Block]map[int][]int{},
+	}
+
+	addDef := func(b *Block, node int, id *ast.Ident, rhs ast.Expr, param bool) {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || id.Name == "_" {
+			return
+		}
+		if _, ok := obj.(*types.Var); !ok {
+			return
+		}
+		idx := len(d.defs)
+		d.defs = append(d.defs, &Def{Obj: obj, Ident: id, Rhs: rhs, Param: param})
+		d.byObj[obj] = append(d.byObj[obj], idx)
+		if !param {
+			if d.sites[b] == nil {
+				d.sites[b] = map[int][]int{}
+			}
+			d.sites[b][node] = append(d.sites[b][node], idx)
+		}
+	}
+
+	// Entry pseudo-definitions: receiver, parameters, named results.
+	var pseudo []int
+	fields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				addDef(nil, 0, name, nil, true)
+				pseudo = append(pseudo, len(d.defs)-1)
+			}
+		}
+	}
+	switch fn := g.Fn.(type) {
+	case *ast.FuncDecl:
+		fields(fn.Recv)
+		fields(fn.Type.Params)
+		fields(fn.Type.Results)
+	case *ast.FuncLit:
+		fields(fn.Type.Params)
+		fields(fn.Type.Results)
+	}
+
+	// Definition sites inside the body. Nodes are statements or conditions;
+	// nested function literals are separate functions and are skipped.
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			InspectLocal(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.AssignStmt:
+					for j, lhs := range m.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						var rhs ast.Expr
+						if len(m.Rhs) == len(m.Lhs) {
+							rhs = m.Rhs[j]
+						}
+						addDef(b, i, id, rhs, false)
+					}
+				case *ast.IncDecStmt:
+					if id, ok := m.X.(*ast.Ident); ok {
+						addDef(b, i, id, nil, false)
+					}
+				case *ast.GenDecl:
+					for _, spec := range m.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for j, name := range vs.Names {
+							var rhs ast.Expr
+							if len(vs.Values) == len(vs.Names) {
+								rhs = vs.Values[j]
+							}
+							addDef(b, i, name, rhs, false)
+						}
+					}
+				case *ast.RangeStmt:
+					if id, ok := m.Key.(*ast.Ident); ok {
+						addDef(b, i, id, nil, false)
+					}
+					if id, ok := m.Value.(*ast.Ident); ok {
+						addDef(b, i, id, nil, false)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	d.solve(pseudo)
+	return d
+}
+
+// solve runs the forward may-analysis to a fixpoint.
+func (d *Defs) solve(pseudo []int) {
+	g := d.g
+	words := (len(d.defs) + 63) / 64
+	newSet := func() []uint64 { return make([]uint64, words) }
+	set := func(s []uint64, i int) { s[i/64] |= 1 << (i % 64) }
+	clearObj := func(s []uint64, obj types.Object) {
+		for _, i := range d.byObj[obj] {
+			s[i/64] &^= 1 << (i % 64)
+		}
+	}
+
+	// Per-block transfer: apply defs in order.
+	transfer := func(b *Block, s []uint64) {
+		for i := range b.Nodes {
+			for _, di := range d.sites[b][i] {
+				clearObj(s, d.defs[di].Obj)
+				set(s, di)
+			}
+		}
+	}
+
+	d.in = make([][]uint64, len(g.Blocks))
+	for i := range d.in {
+		d.in[i] = newSet()
+	}
+	for _, i := range pseudo {
+		set(d.in[g.Entry.Index], i)
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if !g.reach[b.Index] {
+				continue
+			}
+			out := append([]uint64(nil), d.in[b.Index]...)
+			transfer(b, out)
+			for _, s := range b.Succs {
+				dst := d.in[s.Index]
+				for w := range out {
+					if out[w]&^dst[w] != 0 {
+						dst[w] |= out[w]
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// Of returns every definition site of obj, entry pseudo-definitions first.
+func (d *Defs) Of(obj types.Object) []*Def {
+	var out []*Def
+	for _, i := range d.byObj[obj] {
+		out = append(out, d.defs[i])
+	}
+	return out
+}
+
+// Reaching returns the definition sites of obj whose value may be live at
+// `at` (a node of the graph, or a sub-expression of one). Definitions made
+// by the node containing `at` itself are not included.
+func (d *Defs) Reaching(obj types.Object, at ast.Node) []*Def {
+	p, ok := d.g.Locate(at)
+	if !ok || !d.g.reach[p.block.Index] {
+		return nil
+	}
+	live := map[int]bool{}
+	for _, i := range d.byObj[obj] {
+		if d.in[p.block.Index][i/64]&(1<<(i%64)) != 0 {
+			live[i] = true
+		}
+	}
+	for i := 0; i < p.index; i++ {
+		for _, di := range d.sites[p.block][i] {
+			if d.defs[di].Obj == obj {
+				live = map[int]bool{di: true}
+			}
+		}
+	}
+	var out []*Def
+	for _, i := range d.byObj[obj] { // deterministic order
+		if live[i] {
+			out = append(out, d.defs[i])
+		}
+	}
+	return out
+}
+
+// InspectLocal walks root in the manner of ast.Inspect but does not descend
+// into nested function literals: their statements belong to their own Graph.
+func InspectLocal(root ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(n)
+	})
+}

@@ -1,0 +1,58 @@
+package cfg
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// A Func pairs one function — declaration or literal — with its Graph.
+type Func struct {
+	Decl *ast.FuncDecl // nil for literals
+	Lit  *ast.FuncLit  // nil for declarations
+	*Graph
+
+	defs *Defs
+}
+
+// Name returns the declared name, or "func literal" for literals.
+func (f *Func) Name() string {
+	if f.Decl != nil {
+		return f.Decl.Name.Name
+	}
+	return "func literal"
+}
+
+// Defs returns the function's reaching-definitions result, computed once.
+func (f *Func) Defs(pass *analysis.Pass) *Defs {
+	if f.defs == nil {
+		f.defs = f.Graph.Definitions(pass.TypesInfo)
+	}
+	return f.defs
+}
+
+type sharedKey struct{}
+
+// All returns the CFG of every function in the pass's package — declarations
+// and literals, literals each as their own entry. The graphs are built once
+// per package and shared across analyzers via Pass.Shared.
+func All(pass *analysis.Pass) []*Func {
+	v := pass.Shared(sharedKey{}, func() any {
+		var funcs []*Func
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						funcs = append(funcs, &Func{Decl: n, Graph: New(n, n.Body, pass.TypesInfo)})
+					}
+				case *ast.FuncLit:
+					funcs = append(funcs, &Func{Lit: n, Graph: New(n, n.Body, pass.TypesInfo)})
+				}
+				return true
+			})
+		}
+		return funcs
+	})
+	return v.([]*Func)
+}

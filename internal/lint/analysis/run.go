@@ -77,26 +77,29 @@ func collectSuppressions(prog *Program) (map[string][]suppression, []Diagnostic)
 	return byFile, bad
 }
 
-// filterSuppressed drops diagnostics covered by a justified suppression
-// directive on the same line or the line above, and appends diagnostics for
-// malformed directives.
-func filterSuppressed(prog *Program, diags []Diagnostic) []Diagnostic {
+// partitionSuppressed splits diagnostics into survivors and those covered by
+// a justified suppression directive on the same line or the line above.
+// Diagnostics for malformed directives are appended to the survivors: an
+// unjustified suppression is never silent.
+func partitionSuppressed(prog *Program, diags []Diagnostic) (kept, suppressed []Diagnostic) {
 	byFile, bad := collectSuppressions(prog)
-	var out []Diagnostic
 	for _, d := range diags {
-		suppressed := false
+		hit := false
 		for _, s := range byFile[d.Position.Filename] {
 			if s.analyzer != d.Analyzer {
 				continue
 			}
 			if s.line == d.Position.Line || s.line == d.Position.Line-1 {
-				suppressed = true
+				hit = true
 				break
 			}
 		}
-		if !suppressed {
-			out = append(out, d)
+		if hit {
+			d.Suppressed = true
+			suppressed = append(suppressed, d)
+		} else {
+			kept = append(kept, d)
 		}
 	}
-	return append(out, bad...)
+	return append(kept, bad...), suppressed
 }

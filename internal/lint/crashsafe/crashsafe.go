@@ -1,0 +1,341 @@
+// Package crashsafe enforces the store's atomic-write discipline with the
+// CFG layer: in the packages that persist durable state, every Rename whose
+// source is a freshly created temp file must be dominated by a Sync on the
+// same file handle (fsync-before-rename — without it a crash can publish an
+// empty or truncated entry under the final name), no write may land between
+// that sync and the rename, and every error return reachable from the create
+// must remove (or rename away) the temp file first, so failed writes never
+// strand garbage in the store directory.
+//
+// The historical shape this guards is PR 8's store.writeAtomic: deleting its
+// f.Sync() call leaves rename ordering to the filesystem's whim, which is
+// precisely the crash-consistency bug the service's resubmit-after-restart
+// contract cannot survive.
+//
+// Scope: repro/internal/asapd/store by default; any other package can opt in
+// by carrying a //lint:crashsafe comment in one of its files (the future run
+// ledger will). The analyzer keys on shape, not names: a create is any
+// Create/CreateTemp call whose result handle and path argument are tracked
+// through Sync/Write/Remove/Rename calls in the same function.
+package crashsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysis/cfg"
+)
+
+// Scope lists the packages checked by default. Empty means every package
+// (the analysistest fixtures use that); other packages opt in with a
+// //lint:crashsafe file comment.
+var Scope = []string{
+	"repro/internal/asapd/store",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "crashsafe",
+	Doc: "durable renames must be fsync-dominated, nothing may write between " +
+		"sync and rename, and temp files must be removed on all error paths",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) && !optedIn(pass.Files) {
+		return nil
+	}
+	for _, fn := range cfg.All(pass) {
+		checkFunc(pass, fn)
+	}
+	return nil
+}
+
+func inScope(path string) bool {
+	if len(Scope) == 0 {
+		return true
+	}
+	for _, p := range Scope {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// optedIn reports whether any file carries a //lint:crashsafe directive.
+func optedIn(files []*ast.File) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if c.Text == "//lint:crashsafe" || strings.HasPrefix(c.Text, "//lint:crashsafe ") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// create is one tracked `handle, err := X.Create(tmpPath)` site.
+type create struct {
+	node   ast.Node // the assignment statement
+	call   *ast.CallExpr
+	handle types.Object // the file handle variable
+	tmp    types.Object // the temp-path variable passed to Create
+	err    types.Object // the error variable of the same assignment, if any
+}
+
+func checkFunc(pass *analysis.Pass, fn *cfg.Func) {
+	info := pass.TypesInfo
+	creates := findCreates(info, fn)
+	if len(creates) == 0 {
+		return
+	}
+	for _, cr := range creates {
+		checkCreate(pass, fn, cr)
+	}
+}
+
+func findCreates(info *types.Info, fn *cfg.Func) []*create {
+	var out []*create
+	for _, b := range fn.Blocks {
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				continue
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			name := calleeName(call)
+			if name != "Create" && name != "CreateTemp" {
+				continue
+			}
+			cr := &create{node: n, call: call}
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				cr.handle = info.ObjectOf(id)
+			}
+			if len(as.Lhs) > 1 {
+				if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+					cr.err = info.ObjectOf(id)
+				}
+			}
+			if id, ok := call.Args[len(call.Args)-1].(*ast.Ident); ok {
+				cr.tmp = info.ObjectOf(id)
+			}
+			if cr.handle != nil && cr.tmp != nil {
+				out = append(out, cr)
+			}
+		}
+	}
+	return out
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+func checkCreate(pass *analysis.Pass, fn *cfg.Func, cr *create) {
+	info := pass.TypesInfo
+
+	// consumed reports whether node n disposes of the temp file: a remove/
+	// discard-style call taking the temp path, or a rename moving it away.
+	consumed := func(n ast.Node) bool {
+		found := false
+		cfg.InspectLocal(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := strings.ToLower(calleeName(call))
+			disposal := strings.Contains(name, "remove") || strings.Contains(name, "discard") || name == "rename"
+			if !disposal {
+				return true
+			}
+			for _, a := range call.Args {
+				if id, ok := a.(*ast.Ident); ok && info.ObjectOf(id) == cr.tmp {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	// Collect the handle's Sync and Write nodes and the temp's Renames.
+	type site struct {
+		node ast.Node
+		call *ast.CallExpr
+	}
+	var syncs, writes, renames []site
+	for _, b := range fn.Blocks {
+		for _, n := range b.Nodes {
+			node := n
+			cfg.InspectLocal(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Sync":
+					if recvIs(info, sel, cr.handle) {
+						syncs = append(syncs, site{node, call})
+					}
+				case "Write", "WriteString", "WriteAt":
+					if recvIs(info, sel, cr.handle) {
+						writes = append(writes, site{node, call})
+					}
+				case "Rename":
+					if len(call.Args) == 2 {
+						if id, ok := call.Args[0].(*ast.Ident); ok && info.ObjectOf(id) == cr.tmp {
+							renames = append(renames, site{node, call})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Rule 1: each rename of the temp is dominated by a sync on the handle.
+	// Rule 2: no write on the handle between that sync and the rename.
+	for _, rn := range renames {
+		var domSync *site
+		for i := range syncs {
+			if fn.DominatesNode(syncs[i].node, rn.node) {
+				domSync = &syncs[i]
+				break
+			}
+		}
+		if domSync == nil {
+			pass.Reportf(rn.call.Pos(),
+				"Rename of temp file %s is not dominated by a Sync on %s: fsync before rename, or a crash can publish an empty entry",
+				cr.tmp.Name(), cr.handle.Name())
+			continue
+		}
+		for _, w := range writes {
+			if w.node == domSync.node || w.node == rn.node {
+				continue
+			}
+			if fn.PathExists(domSync.node, w.node, nil) && fn.PathExists(w.node, rn.node, nil) {
+				pass.Reportf(w.call.Pos(),
+					"write to %s between its Sync and the Rename of %s: the synced bytes are no longer what gets published",
+					cr.handle.Name(), cr.tmp.Name())
+			}
+		}
+	}
+
+	// Rule 3: every error return reachable from the create removes the temp
+	// first. The create's own error check is exempt — when Create itself
+	// fails there is no temp file to clean up.
+	if !returnsError(info, fn) {
+		return
+	}
+	exemptBlocks := createErrGuards(info, fn, cr)
+	for _, b := range fn.Blocks {
+		for _, n := range b.Nodes {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || !isErrorReturn(ret) {
+				continue
+			}
+			if inExempt(fn, exemptBlocks, n) || consumed(n) {
+				continue // `return os.Rename(tmp, ...)` disposes inline
+			}
+			if fn.PathExists(cr.node, n, consumed) {
+				pass.Reportf(ret.Pos(),
+					"error return without removing temp file %s: clean up the temp on every failure path",
+					cr.tmp.Name())
+			}
+		}
+	}
+}
+
+func recvIs(info *types.Info, sel *ast.SelectorExpr, obj types.Object) bool {
+	id, ok := sel.X.(*ast.Ident)
+	return ok && info.ObjectOf(id) == obj
+}
+
+// returnsError reports whether the function's last result is of type error.
+func returnsError(info *types.Info, fn *cfg.Func) bool {
+	var ft *ast.FuncType
+	switch f := fn.Fn.(type) {
+	case *ast.FuncDecl:
+		ft = f.Type
+	case *ast.FuncLit:
+		ft = f.Type
+	}
+	if ft == nil || ft.Results == nil || len(ft.Results.List) == 0 {
+		return false
+	}
+	last := ft.Results.List[len(ft.Results.List)-1]
+	t := info.TypeOf(last.Type)
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isErrorReturn reports whether the return's final value can be a non-nil
+// error (anything but the nil literal).
+func isErrorReturn(ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return false // naked return: named results, not used on store paths
+	}
+	last := ret.Results[len(ret.Results)-1]
+	if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	return true
+}
+
+// createErrGuards returns the then-blocks of `if err != nil` checks on the
+// create's own error variable.
+func createErrGuards(info *types.Info, fn *cfg.Func, cr *create) []*cfg.Block {
+	if cr.err == nil {
+		return nil
+	}
+	var blocks []*cfg.Block
+	for ifStmt, br := range fn.IfBranches {
+		cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.NEQ {
+			continue
+		}
+		id, ok := cond.X.(*ast.Ident)
+		if !ok {
+			id, ok = cond.Y.(*ast.Ident)
+		}
+		if !ok {
+			continue
+		}
+		// The guard must test the same err object the create assigned, and
+		// sit after the create (the same err var may be reused earlier).
+		if info.ObjectOf(id) == cr.err && ifStmt.Pos() > cr.node.Pos() {
+			blocks = append(blocks, br.Then)
+		}
+	}
+	return blocks
+}
+
+func inExempt(fn *cfg.Func, blocks []*cfg.Block, n ast.Node) bool {
+	b, ok := fn.BlockOf(n)
+	if !ok {
+		return false
+	}
+	for _, eb := range blocks {
+		if fn.Dominates(eb, b) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package crashsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/crashsafe"
+)
+
+// allPackages widens the analyzer's package scope to the fixture under test
+// and restores it afterwards.
+func allPackages(t *testing.T) {
+	t.Helper()
+	saved := crashsafe.Scope
+	crashsafe.Scope = nil
+	t.Cleanup(func() { crashsafe.Scope = saved })
+}
+
+// TestGood: the full create→write→sync→close→rename discipline, including
+// helper-based disposal and the quarantine rename of a non-temp source.
+func TestGood(t *testing.T) {
+	allPackages(t)
+	analysistest.Run(t, crashsafe.Analyzer, "good")
+}
+
+// TestBad: the historical fsync drop, a branch-only sync, a write after the
+// sync, and error paths that strand the temp file are all flagged.
+func TestBad(t *testing.T) {
+	allPackages(t)
+	analysistest.Run(t, crashsafe.Analyzer, "bad")
+}
+
+// TestOptIn: the //lint:crashsafe directive pulls an out-of-scope package
+// into the analysis — Scope is NOT widened here.
+func TestOptIn(t *testing.T) {
+	analysistest.Run(t, crashsafe.Analyzer, "optin")
+}
+
+// TestScope pins the default scope to the store package.
+func TestScope(t *testing.T) {
+	found := false
+	for _, p := range crashsafe.Scope {
+		if p == "repro/internal/asapd/store" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("crashsafe.Scope no longer covers repro/internal/asapd/store: %v", crashsafe.Scope)
+	}
+}

@@ -1,0 +1,74 @@
+// Package bad holds the crash-consistency shapes the analyzer must reject.
+// writeNoSync is the historical one: PR 8's store.writeAtomic minus its
+// f.Sync() call, which lets a crash publish an empty entry under the final
+// name.
+package bad
+
+import "os"
+
+// The fsync-drop shape: rename without a dominating sync on the handle.
+func writeNoSync(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, final) // want `Rename of temp file tmp is not dominated by a Sync on f`
+}
+
+// A sync that only happens on one branch does not dominate the rename.
+func syncOneBranch(tmp, final string, data []byte, flush bool) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if flush {
+		f.Sync()
+	}
+	f.Close()
+	return os.Rename(tmp, final) // want `Rename of temp file tmp is not dominated by a Sync on f`
+}
+
+// Writing after the sync publishes bytes the fsync never covered.
+func writeAfterSync(tmp, final string, data, footer []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	f.Sync()
+	f.Write(footer) // want `write to f between its Sync and the Rename of tmp`
+	f.Close()
+	return os.Rename(tmp, final)
+}
+
+// Error paths that walk away from the temp file strand it in the store dir.
+func leaky(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err // want `error return without removing temp file tmp`
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err // want `error return without removing temp file tmp`
+	}
+	f.Close()
+	return os.Rename(tmp, final)
+}

@@ -1,0 +1,62 @@
+// Package good is the store's atomic-write discipline done right: create,
+// write, sync, close, rename — with the temp removed on every failure path.
+package good
+
+import "os"
+
+func writeAtomic(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err // Create failed: no temp file exists yet
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// quarantine renames an existing durable entry aside; its source is not a
+// freshly created temp, so the fsync discipline does not apply.
+func quarantine(path, dst string) error {
+	return os.Rename(path, dst)
+}
+
+// helper-style disposal counts: anything remove/discard-named that takes the
+// temp path clears the error path.
+func writeViaHelper(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		discard(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		discard(tmp)
+		return err
+	}
+	f.Close()
+	return os.Rename(tmp, final)
+}
+
+func discard(path string) {
+	os.Remove(path)
+}

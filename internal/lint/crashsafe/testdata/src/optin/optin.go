@@ -1,0 +1,18 @@
+// Package optin sits outside the analyzer's default scope and opts in with
+// the //lint:crashsafe directive — the mechanism the future run ledger will
+// use. The analyzer must still catch the missing sync here.
+package optin
+
+//lint:crashsafe
+
+import "os"
+
+func publish(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	f.Close()
+	return os.Rename(tmp, final) // want `Rename of temp file tmp is not dominated by a Sync on f`
+}

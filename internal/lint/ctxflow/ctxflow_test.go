@@ -1,0 +1,47 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/ctxflow"
+)
+
+// allPackages widens the analyzer's package scope to the fixture under test
+// and restores it afterwards.
+func allPackages(t *testing.T) {
+	t.Helper()
+	saved := ctxflow.Scope
+	ctxflow.Scope = nil
+	t.Cleanup(func() { ctxflow.Scope = saved })
+}
+
+func TestGood(t *testing.T) {
+	allPackages(t)
+	analysistest.Run(t, ctxflow.Analyzer, "good")
+}
+
+func TestBad(t *testing.T) {
+	allPackages(t)
+	analysistest.Run(t, ctxflow.Analyzer, "bad")
+}
+
+// TestScope pins the service-path packages (and, via prefix matching, their
+// subpackages) into the default scope.
+func TestScope(t *testing.T) {
+	want := []string{
+		"repro/internal/asapd",
+		"repro/internal/runner",
+		"repro/internal/sim",
+		"repro/internal/exp",
+	}
+	have := map[string]bool{}
+	for _, p := range ctxflow.Scope {
+		have[p] = true
+	}
+	for _, p := range want {
+		if !have[p] {
+			t.Errorf("ctxflow.Scope no longer covers %s: %v", p, ctxflow.Scope)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package bad collects the cancellation-discipline violations: re-rooting,
+// dropping the incoming ctx, and reference-source loops whose cycles can run
+// without observing cancellation — the shape sim.drive had before its poll.
+package bad
+
+import "context"
+
+type source struct{ n int }
+
+func (s *source) Next() (uint64, bool) {
+	s.n--
+	return uint64(s.n), s.n >= 0
+}
+
+func consume(ctx context.Context, src *source) error {
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if _, ok := src.Next(); !ok {
+			return nil
+		}
+	}
+}
+
+type holder struct{ ctx context.Context }
+
+// reroot detaches the callee from the caller's deadline.
+func reroot(ctx context.Context, src *source) error {
+	return consume(context.Background(), src) // want `context.Background re-roots the context inside reroot, which already receives a ctx: derive from the incoming ctx instead`
+}
+
+// stale passes a stored context instead of the incoming one.
+func stale(ctx context.Context, h *holder, src *source) error {
+	return consume(h.ctx, src) // want `call to consume does not receive the incoming ctx: pass ctx or a context derived from it`
+}
+
+// dropLoop is the historical simulator shape: the reference-stream loop with
+// its cancellation poll deleted.
+func dropLoop(ctx context.Context, src *source) int {
+	n := 0
+	for { // want `loop consumes a reference source but can cycle without checking ctx: poll ctx.Err on every iteration path`
+		if _, ok := src.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// conditionalPoll checks ctx only on a branch: the poll's block does not
+// dominate the latch, so a cycle can complete without it.
+func conditionalPoll(ctx context.Context, src *source, verbose bool) int {
+	n := 0
+	for { // want `loop consumes a reference source but can cycle without checking ctx: poll ctx.Err on every iteration path`
+		if verbose {
+			if ctx.Err() != nil {
+				return n
+			}
+		}
+		if _, ok := src.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}

@@ -1,0 +1,78 @@
+// Package good threads contexts the way the service path does: incoming ctx
+// (or a derived one) to every context-accepting callee, Background only where
+// no ctx arrives, and a dominating poll in every reference-source loop.
+package good
+
+import (
+	"context"
+	"time"
+)
+
+type source struct{ n int }
+
+// Next is refSource-shaped: no params, (value, ok) results.
+func (s *source) Next() (uint64, bool) {
+	s.n--
+	return uint64(s.n), s.n >= 0
+}
+
+func consume(ctx context.Context, src *source) error {
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if _, ok := src.Next(); !ok {
+			return nil
+		}
+	}
+}
+
+// headPoll keeps the cancellation check in the loop condition itself.
+func headPoll(ctx context.Context, src *source) (n int) {
+	for ctx.Err() == nil {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// masked matches the simulator's cheap poll: the ctx check is skipped on most
+// iterations by a mask, but the polling condition still runs on every cycle.
+func masked(ctx context.Context, src *source) error {
+	for refs := 0; ; refs++ {
+		if refs&1023 == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if _, ok := src.Next(); !ok {
+			return nil
+		}
+	}
+}
+
+// derived contexts count as the incoming ctx.
+func timed(ctx context.Context, src *source) error {
+	cctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return consume(cctx, src)
+}
+
+// inline derivation counts too.
+func tagged(ctx context.Context, src *source) error {
+	return consume(context.WithValue(ctx, struct{}{}, 1), src)
+}
+
+// root has no ctx parameter, so it is where Background legitimately lives.
+func root(src *source) error {
+	return consume(context.Background(), src)
+}
+
+// onceOnly never cycles: every path out of the body leaves the loop, so no
+// poll is required.
+func onceOnly(ctx context.Context, src *source) (uint64, bool) {
+	for {
+		v, ok := src.Next()
+		return v, ok
+	}
+}

@@ -1,0 +1,21 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/lockcheck"
+)
+
+// TestGood: balanced locks, deferred unlocks, releasing early returns, the
+// cond.Wait worker loop, and select-with-default under a lock all pass.
+func TestGood(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "good")
+}
+
+// TestBad: the runner's historical doomed-cell unlock drop, double locks,
+// read-to-write upgrades, and blocking operations under a held lock are all
+// flagged.
+func TestBad(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "bad")
+}

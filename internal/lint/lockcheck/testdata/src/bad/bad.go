@@ -1,0 +1,89 @@
+// Package bad holds the lock shapes the analyzer must reject. Doomed is the
+// historical one: PR 8's runner had exactly this early return on the
+// doomed-cell path, and dropping its unlock deadlocks every later submission.
+package bad
+
+import (
+	"sync"
+	"time"
+)
+
+type pool struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	cells map[string]int
+	queue []int
+	ch    chan int
+}
+
+// The runner's doomed-cell shape with the unlock dropped: the early return
+// leaves the mutex held.
+func (p *pool) doomed(k string) int {
+	p.mu.Lock() // want `p\.mu\.Lock is not released on every path out of doomed`
+	if c, ok := p.cells[k]; ok {
+		return c
+	}
+	p.mu.Unlock()
+	return -1
+}
+
+// Re-locking before the release self-deadlocks.
+func (p *pool) double() {
+	p.mu.Lock()
+	p.queue = append(p.queue, 1)
+	p.mu.Lock() // want `p\.mu\.Lock while the lock from line \d+ may still be held`
+	p.queue = append(p.queue, 2)
+	p.mu.Unlock()
+}
+
+// Upgrading a read lock to a write lock deadlocks the same way.
+func (p *pool) upgrade() {
+	p.rw.RLock() // want `p\.rw\.RLock is not released on every path out of upgrade`
+	p.rw.Lock()  // want `p\.rw\.Lock while the lock from line \d+ may still be held`
+	p.queue = nil
+	p.rw.Unlock()
+}
+
+// A bare receive can park the goroutine forever while the lock is held.
+func (p *pool) recvHeld(done chan struct{}) {
+	p.mu.Lock()
+	<-done // want `channel receive while p\.mu is held`
+	p.mu.Unlock()
+}
+
+// So can a send without a default...
+func (p *pool) sendHeld(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ch <- v // want `channel send while p\.mu is held`
+}
+
+// ...a select with no default...
+func (p *pool) selectHeld() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select { // want `select without default while p\.mu is held`
+	case v := <-p.ch:
+		return v
+	case p.ch <- 0:
+		return 0
+	}
+}
+
+// ...or a sleep.
+func (p *pool) sleepHeld() {
+	p.mu.Lock()
+	time.Sleep(time.Second) // want `call to Sleep while p\.mu is held`
+	p.mu.Unlock()
+}
+
+// A loop that re-enters Lock without ever unlocking on the cycle.
+func (p *pool) spin() {
+	for {
+		p.mu.Lock() // want `p\.mu\.Lock can be reached again before the lock is released`
+		if len(p.queue) == 0 {
+			break
+		}
+	}
+	p.mu.Unlock()
+}

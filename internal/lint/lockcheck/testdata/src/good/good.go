@@ -1,0 +1,122 @@
+// Package good holds lock shapes the analyzer must accept: balanced
+// lock/unlock, deferred unlock, early returns that release first, the
+// condition-variable worker loop, and non-blocking channel use under a lock.
+package good
+
+import (
+	"sync"
+	"time"
+)
+
+type pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	rw     sync.RWMutex
+	queue  []int
+	closed bool
+	ch     chan int
+}
+
+// Balanced straight-line lock.
+func (p *pool) count() int {
+	p.mu.Lock()
+	n := len(p.queue)
+	p.mu.Unlock()
+	return n
+}
+
+// Deferred unlock covers every path out, including panics.
+func (p *pool) stats() (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, false
+	}
+	return len(p.queue), true
+}
+
+// Early return that releases first (the shape the runner's doomed-cell path
+// must keep).
+func (p *pool) take() (int, bool) {
+	p.mu.Lock()
+	if len(p.queue) == 0 {
+		p.mu.Unlock()
+		return 0, false
+	}
+	v := p.queue[0]
+	p.queue = p.queue[1:]
+	p.mu.Unlock()
+	return v, true
+}
+
+// The worker loop: re-locking every iteration is fine because the unlock is
+// on every cycle, and Cond.Wait releases the mutex while parked.
+func (p *pool) worker() {
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		v := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		use(v)
+	}
+}
+
+// Select with a default never blocks, even while the lock is held.
+func (p *pool) tryPush(v int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case p.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Read locks pair with RUnlock; two readers may overlap.
+func (p *pool) peek() int {
+	p.rw.RLock()
+	defer p.rw.RUnlock()
+	if len(p.queue) == 0 {
+		return 0
+	}
+	return p.queue[0]
+}
+
+// Blocking work after the release is fine.
+func (p *pool) drainThenWait(done chan struct{}) {
+	p.mu.Lock()
+	p.queue = nil
+	p.mu.Unlock()
+	<-done
+	time.Sleep(time.Millisecond)
+}
+
+// A package-level mutex is a lock root like any receiver field.
+var tableMu sync.Mutex
+var table = map[string]int{}
+
+func record(k string) {
+	tableMu.Lock()
+	table[k]++
+	tableMu.Unlock()
+}
+
+// Sequential lock/unlock pairs of the same mutex are not a double lock.
+func (p *pool) twice() {
+	p.mu.Lock()
+	p.queue = append(p.queue, 1)
+	p.mu.Unlock()
+	p.mu.Lock()
+	p.queue = append(p.queue, 2)
+	p.mu.Unlock()
+}
+
+func use(int) {}

@@ -1,0 +1,196 @@
+// Package mixedaccess flags fields and variables that are accessed through
+// sync/atomic in one place and plainly in another without holding a lock.
+// Mixing the two is a data race the race detector only catches when the
+// schedule cooperates: an atomic.AddUint64 in one goroutine and a bare read
+// in another tears on 32-bit platforms and is undefined under the memory
+// model everywhere.
+//
+// A plain access is allowed when a mutex Lock dominates it and at least one
+// path from that Lock reaches the access without an intervening Unlock
+// (deferred Unlocks release at function exit and so do not end the guarded
+// region). The analyzer is package-scoped: the atomic site and the plain
+// site may be in different functions.
+package mixedaccess
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mixedaccess",
+	Doc: "a field accessed via sync/atomic must not also be accessed plainly " +
+		"outside a guarding mutex",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	atomicObjs, exempt := collectAtomic(pass)
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+	for _, fn := range cfg.All(pass) {
+		checkFunc(pass, fn, atomicObjs, exempt)
+	}
+	return nil
+}
+
+// collectAtomic finds every object passed by address to a sync/atomic
+// function anywhere in the package, plus the ident nodes of those atomic
+// call sites (exempt from the plain-access scan). Composite-literal keys are
+// field names, not accesses, and are exempt too.
+func collectAtomic(pass *analysis.Pass) (map[types.Object]bool, map[*ast.Ident]bool) {
+	info := pass.TypesInfo
+	objs := map[types.Object]bool{}
+	exempt := map[*ast.Ident]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.KeyValueExpr:
+				if id, ok := n.Key.(*ast.Ident); ok {
+					exempt[id] = true
+				}
+			case *ast.CallExpr:
+				if !isAtomicCall(info, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok {
+						continue
+					}
+					obj := addressedObj(info, un.X)
+					if obj == nil {
+						continue
+					}
+					objs[obj] = true
+					ast.Inspect(un, func(m ast.Node) bool {
+						if id, ok := m.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+							exempt[id] = true
+						}
+						return true
+					})
+				}
+			}
+			return true
+		})
+	}
+	return objs, exempt
+}
+
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// addressedObj resolves &expr to the field or variable object being aliased.
+func addressedObj(info *types.Info, expr ast.Expr) types.Object {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *cfg.Func, atomicObjs map[types.Object]bool, exempt map[*ast.Ident]bool) {
+	info := pass.TypesInfo
+
+	// The lock and unlock sites, excluding defers: a deferred Unlock releases
+	// only at function exit, so it never ends the guarded region mid-body.
+	var locks, unlocks []ast.Node
+	for _, b := range fn.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				continue
+			}
+			node := n
+			cfg.InspectLocal(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if isSyncMethod(info, call, "Lock", "RLock") {
+						locks = append(locks, node)
+					}
+					if isSyncMethod(info, call, "Unlock", "RUnlock") {
+						unlocks = append(unlocks, node)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	isLock := func(n ast.Node) bool {
+		for _, l := range locks {
+			if l == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	// guarded: some Lock dominates the access and no Unlock can interpose —
+	// an unlock that control can pass between the two (without re-locking on
+	// the way to the access) means the guard may already be gone.
+	guarded := func(access ast.Node) bool {
+	nextLock:
+		for _, l := range locks {
+			if l == access || !fn.DominatesNode(l, access) {
+				continue
+			}
+			for _, u := range unlocks {
+				if fn.PathExists(l, u, nil) && fn.PathExists(u, access, isLock) {
+					continue nextLock
+				}
+			}
+			return true
+		}
+		return false
+	}
+
+	for _, b := range fn.Blocks {
+		for _, n := range b.Nodes {
+			node := n
+			cfg.InspectLocal(n, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok || exempt[id] {
+					return true
+				}
+				obj := info.ObjectOf(id)
+				if obj == nil || !atomicObjs[obj] {
+					return true
+				}
+				if !guarded(node) {
+					pass.Reportf(id.Pos(),
+						"plain access to %s, which is elsewhere accessed with sync/atomic: make every access atomic or hold the guarding lock",
+						obj.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isSyncMethod(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	for _, name := range names {
+		if fn.Name() == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package mixedaccess_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/mixedaccess"
+)
+
+func TestGood(t *testing.T) {
+	analysistest.Run(t, mixedaccess.Analyzer, "good")
+}
+
+func TestBad(t *testing.T) {
+	analysistest.Run(t, mixedaccess.Analyzer, "bad")
+}

@@ -1,0 +1,41 @@
+// Package bad mixes atomic and plain access: the races the analyzer exists
+// to catch.
+package bad
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+// torn reads n with no lock at all while bump updates it atomically.
+func (c *counter) torn() uint64 {
+	return c.n // want `plain access to n, which is elsewhere accessed with sync/atomic: make every access atomic or hold the guarding lock`
+}
+
+// late writes n after the mutex has already been released.
+func (c *counter) late() {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.n++ // want `plain access to n, which is elsewhere accessed with sync/atomic: make every access atomic or hold the guarding lock`
+}
+
+// branch releases the lock on one path and still writes on the join.
+func (c *counter) branch(flush bool) {
+	c.mu.Lock()
+	if flush {
+		c.mu.Unlock()
+	}
+	c.n = 0 // want `plain access to n, which is elsewhere accessed with sync/atomic: make every access atomic or hold the guarding lock`
+	if !flush {
+		c.mu.Unlock()
+	}
+}

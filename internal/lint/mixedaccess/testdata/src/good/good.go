@@ -1,0 +1,42 @@
+// Package good keeps every access to an atomically-updated field either
+// atomic or under the guarding mutex.
+package good
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  uint64
+	m  int // never touched by sync/atomic: unconstrained
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) read() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// snapshot reads n plainly, but the guarding mutex is held: the Lock
+// dominates the access and the deferred Unlock releases only at exit.
+func (c *counter) snapshot() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// reset writes n plainly under an explicit Lock/Unlock pair.
+func (c *counter) reset() {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+}
+
+// plain fields stay invisible to the analyzer.
+func (c *counter) setM(v int) {
+	c.m = v
+}

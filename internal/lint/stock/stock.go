@@ -14,6 +14,7 @@ import (
 	"go/types"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysis/cfg"
 )
 
 // Analyzers returns the curated stock passes in suite order.
@@ -23,53 +24,79 @@ func Analyzers() []*analysis.Analyzer {
 
 // ---- nilness ----------------------------------------------------------
 
-// Nilness flags the direct form of the nil-deref bug: a branch taken when x
-// == nil that then dereferences, calls, or indexes x without reassigning it.
+// Nilness flags nil-deref bugs branch-sensitively over the CFG: when a
+// condition proves x nil, the fact holds in every block the nil-carrying
+// branch dominates — including the code after an `if x != nil { return x }`
+// guard, whose fall-through is the nil branch — until a reassignment of x
+// can reach the use.
 var Nilness = &analysis.Analyzer{
 	Name: "nilness",
-	Doc:  "flag dereferences of a variable inside the branch that just proved it nil",
+	Doc:  "flag dereferences of a variable on paths where a branch just proved it nil",
 	Run:  runNilness,
 }
 
 func runNilness(pass *analysis.Pass) error {
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			ifs, ok := n.(*ast.IfStmt)
-			if !ok {
-				return true
-			}
-			be, ok := ifs.Cond.(*ast.BinaryExpr)
-			if !ok {
-				return true
-			}
-			var id *ast.Ident
-			if x, ok := be.X.(*ast.Ident); ok && isNilIdent(pass, be.Y) {
-				id = x
-			} else if y, ok := be.Y.(*ast.Ident); ok && isNilIdent(pass, be.X) {
-				id = y
-			}
-			if id == nil {
-				return true
-			}
-			obj := pass.TypesInfo.ObjectOf(id)
-			if obj == nil || !nilable(obj.Type()) {
-				return true
-			}
-			var branch ast.Stmt
-			switch be.Op {
-			case token.EQL:
-				branch = ifs.Body // if x == nil { ...x must not be used... }
-			case token.NEQ:
-				branch = ifs.Else // if x != nil {...} else { ...x is nil... }
-			}
-			if branch == nil {
-				return true
-			}
-			reportNilUse(pass, branch, obj)
-			return true
-		})
+	for _, fn := range cfg.All(pass) {
+		nilnessFunc(pass, fn)
 	}
 	return nil
+}
+
+func nilnessFunc(pass *analysis.Pass, fn *cfg.Func) {
+	info := pass.TypesInfo
+	reported := map[token.Pos]bool{}
+	for ifStmt, br := range fn.IfBranches {
+		be, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok {
+			continue
+		}
+		var id *ast.Ident
+		if x, ok := be.X.(*ast.Ident); ok && isNilIdent(pass, be.Y) {
+			id = x
+		} else if y, ok := be.Y.(*ast.Ident); ok && isNilIdent(pass, be.X) {
+			id = y
+		}
+		if id == nil {
+			continue
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil || !nilable(obj.Type()) {
+			continue
+		}
+		// The block where "obj is nil" starts to hold: the then-arm of an
+		// equality test, the (always-synthesized) else-arm of an inequality.
+		var factBlock *cfg.Block
+		switch be.Op {
+		case token.EQL:
+			factBlock = br.Then
+		case token.NEQ:
+			factBlock = br.Else
+		default:
+			continue
+		}
+		if !fn.Reachable(factBlock) {
+			continue
+		}
+		defs := fn.Defs(pass)
+		// A definition downstream of the condition may replace the proven-nil
+		// value; when such a definition reaches the use, the fact is dead.
+		killed := func(use ast.Node) bool {
+			for _, d := range defs.Reaching(obj, use) {
+				if !d.Param && fn.PathExists(ifStmt.Cond, d.Ident, nil) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, b := range fn.Blocks {
+			if !fn.Dominates(factBlock, b) {
+				continue
+			}
+			for _, n := range b.Nodes {
+				reportNilUse(pass, info, n, obj, killed, reported)
+			}
+		}
+	}
 }
 
 func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
@@ -89,50 +116,48 @@ func nilable(t types.Type) bool {
 	return false
 }
 
-// reportNilUse reports dereferences of obj in the branch where it is nil,
-// giving up at the first reassignment.
-func reportNilUse(pass *analysis.Pass, branch ast.Stmt, obj types.Object) {
-	assigned := false
+// reportNilUse reports dereferences of obj inside one CFG node, unless a
+// reaching reassignment killed the nil fact at that use.
+func reportNilUse(pass *analysis.Pass, info *types.Info, node ast.Node, obj types.Object,
+	killed func(ast.Node) bool, reported map[token.Pos]bool) {
 	isObj := func(e ast.Expr) bool {
 		id, ok := e.(*ast.Ident)
-		return ok && pass.TypesInfo.ObjectOf(id) == obj
+		return ok && info.ObjectOf(id) == obj
 	}
-	ast.Inspect(branch, func(n ast.Node) bool {
-		if assigned {
-			return false
+	report := func(use ast.Node, verb string) {
+		if reported[use.Pos()] || killed(use) {
+			return
 		}
+		reported[use.Pos()] = true
+		pass.Reportf(use.Pos(), "%s is nil on this branch; %s it will panic", obj.Name(), verb)
+	}
+	cfg.InspectLocal(node, func(n ast.Node) bool {
 		switch e := n.(type) {
-		case *ast.AssignStmt:
-			for _, lhs := range e.Lhs {
-				if isObj(lhs) {
-					assigned = true
-				}
-			}
 		case *ast.SelectorExpr:
 			// Only a deref for pointer receivers of fields; method values on
 			// nil pointers may be legal, so restrict to pointer field access
 			// and interface method calls via the nilable check above.
 			if isObj(e.X) {
 				if _, ok := obj.Type().Underlying().(*types.Pointer); ok {
-					pass.Reportf(e.Pos(), "%s is nil on this branch; selecting through it will panic", obj.Name())
+					report(e, "selecting through")
 				}
 			}
 		case *ast.StarExpr:
 			if isObj(e.X) {
-				pass.Reportf(e.Pos(), "%s is nil on this branch; dereferencing it will panic", obj.Name())
+				report(e, "dereferencing")
 			}
 		case *ast.IndexExpr:
 			if isObj(e.X) {
 				if _, ok := obj.Type().Underlying().(*types.Slice); ok {
-					pass.Reportf(e.Pos(), "%s is nil on this branch; indexing it will panic", obj.Name())
+					report(e, "indexing")
 				}
 			}
 		case *ast.CallExpr:
 			if isObj(e.Fun) {
-				pass.Reportf(e.Pos(), "%s is nil on this branch; calling it will panic", obj.Name())
+				report(e, "calling")
 			}
 		}
-		return !assigned
+		return true
 	})
 }
 

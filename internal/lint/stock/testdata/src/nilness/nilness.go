@@ -26,3 +26,28 @@ func ElseBranch(fn func() int) int {
 		return fn() // want `fn is nil on this branch; calling it will panic`
 	}
 }
+
+// Branch sensitivity: when the non-nil arm returns, the fall-through is the
+// nil branch even though it is not written as an else.
+func LateDeref(n *Node) *Node {
+	if n != nil {
+		return n
+	}
+	return n.next // want `n is nil on this branch; selecting through it will panic`
+}
+
+// The mirrored guard proves n non-nil on the fall-through: no diagnostic.
+func Guarded(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	return n.next
+}
+
+// When the proving branch rejoins, the fall-through sees both arms: no fact.
+func Rejoined(n *Node, count *int) *Node {
+	if n != nil {
+		*count++
+	}
+	return n.next
+}

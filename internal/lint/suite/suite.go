@@ -1,23 +1,33 @@
-// Package suite assembles the repository's full analyzer set: the four
+// Package suite assembles the repository's full analyzer set: the
 // repo-specific invariant checkers plus the curated stock passes.
 package suite
 
 import (
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/crashsafe"
+	"repro/internal/lint/ctxflow"
 	"repro/internal/lint/determinism"
 	"repro/internal/lint/keycomplete"
+	"repro/internal/lint/lockcheck"
 	"repro/internal/lint/meterwindow"
+	"repro/internal/lint/mixedaccess"
 	"repro/internal/lint/seededrand"
 	"repro/internal/lint/stock"
 )
 
-// Analyzers returns every analyzer asaplint runs, custom passes first.
+// Analyzers returns every analyzer asaplint runs, custom passes first: the
+// original four invariant checkers, the CFG-powered concurrency and
+// crash-safety passes, then the stock set.
 func Analyzers() []*analysis.Analyzer {
 	custom := []*analysis.Analyzer{
 		meterwindow.Analyzer,
 		keycomplete.Analyzer,
 		determinism.Analyzer,
 		seededrand.Analyzer,
+		ctxflow.Analyzer,
+		crashsafe.Analyzer,
+		lockcheck.Analyzer,
+		mixedaccess.Analyzer,
 	}
 	return append(custom, stock.Analyzers()...)
 }

@@ -3,13 +3,19 @@
 # diff check, exactly as CI's blocking lint job does.
 #
 # Usage:
-#   scripts/lint.sh                 # lint the whole module
-#   scripts/lint.sh ./internal/sim  # lint specific packages
+#   scripts/lint.sh                         # lint the whole module
+#   scripts/lint.sh ./internal/sim          # lint specific packages
+#   scripts/lint.sh -json ./...             # machine-readable findings
+#   scripts/lint.sh -timing ./...           # per-analyzer wall-clock cost
 #
-# asaplint is the repo-specific go/analysis suite (see README "Invariants &
-# linting"): meterwindow, keycomplete, determinism and seededrand alongside
-# curated stock passes. Any finding fails the script; suppress one — with a
-# written justification — via //lint:ignore or //lint:ordered.
+# Arguments pass straight through to asaplint, flags included. asaplint is
+# the repo-specific go/analysis suite (see README "Invariants & linting"):
+# meterwindow, keycomplete, determinism and seededrand, the CFG-powered
+# ctxflow, crashsafe, lockcheck and mixedaccess, alongside curated stock
+# passes. Any finding fails the script; suppress one — with a written
+# justification — via //lint:ignore or //lint:ordered. The companion
+# scripts/lint_mutations.sh asserts the dataflow analyzers still catch the
+# historical bug shapes they were built for.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# lint_mutations.sh — mutation smoke test for the lint suite.
+#
+# Each patch under scripts/mutations/ reintroduces a historical bug shape the
+# dataflow analyzers exist to catch: the store's fsync-before-rename dropped
+# (crashsafe), the simulator's per-iteration ctx poll dropped (ctxflow), and
+# the runner's unlock on the doomed-cell early return dropped (lockcheck).
+# For each one the script copies the module into a scratch dir, applies the
+# patch, confirms the mutated tree still compiles, and asserts asaplint exits
+# 1 — a mutation the linter misses fails CI, so the analyzers cannot rot into
+# green no-ops.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+repo=$PWD
+
+check() {
+  local name=$1 analyzer=$2 pkg=$3
+  local scratch
+  scratch=$(mktemp -d)
+  # Copy the module (minus VCS and scratch artifacts) into the sandbox.
+  tar -c --exclude .git --exclude .claude . | tar -x -C "$scratch"
+  if ! git -C "$scratch" apply "$repo/scripts/mutations/$name.patch"; then
+    echo "mutation $name: patch no longer applies — update scripts/mutations/$name.patch" >&2
+    rm -rf "$scratch"
+    return 1
+  fi
+  if ! (cd "$scratch" && go build ./... >/dev/null); then
+    echo "mutation $name: mutated tree does not compile — the smoke test is vacuous" >&2
+    rm -rf "$scratch"
+    return 1
+  fi
+  local status=0
+  (cd "$scratch" && go run ./cmd/asaplint -only "$analyzer" "$pkg" >/dev/null 2>&1) || status=$?
+  rm -rf "$scratch"
+  if [[ "$status" -ne 1 ]]; then
+    echo "mutation $name: expected $analyzer to fail asaplint (exit 1), got exit $status" >&2
+    return 1
+  fi
+  echo "mutation $name: caught by $analyzer"
+}
+
+fail=0
+check drop_store_fsync crashsafe ./internal/asapd/store || fail=1
+check drop_sim_ctxpoll ctxflow ./internal/sim || fail=1
+check drop_runner_unlock lockcheck ./internal/runner || fail=1
+
+exit "$fail"
