@@ -15,6 +15,11 @@
 // On SIGTERM (or SIGINT) the service stops accepting jobs (503), finishes
 // queued and in-flight work within -drain, persists everything to the store,
 // and exits 0 on a clean drain (1 if the deadline forced an abort).
+//
+// -debug-addr starts a second listener (off by default) with net/http/pprof
+// under /debug/pprof/ and the Prometheus exposition under /debug/metrics.
+// Keep it on localhost or behind a firewall: pprof exposes heap and goroutine
+// internals, which is why it never shares the public API listener.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +50,7 @@ func run() int {
 		workers    = flag.Int("j", 0, "concurrent scenario simulations (0 = GOMAXPROCS)")
 		jobWorkers = flag.Int("jobworkers", 2, "jobs executing concurrently")
 		drain      = flag.Duration("drain", 60*time.Second, "shutdown drain deadline for in-flight work")
+		debugAddr  = flag.String("debug-addr", "", "debug listener address for pprof and /debug/metrics (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -67,6 +74,24 @@ func run() int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "asapd: listening on %s (store %q, queue %d)\n", ln.Addr(), *storeDir, *queueCap)
+
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		dbgLn, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asapd: debug listener:", err)
+			return 1
+		}
+		dbgSrv = &http.Server{Handler: debugMux(svc)}
+		// Debug serve errors are non-fatal: the service's job is the API
+		// listener, and losing pprof should not take down in-flight work.
+		go func() {
+			if err := dbgSrv.Serve(dbgLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "asapd: debug serve:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "asapd: debug listener on %s (pprof, /debug/metrics)\n", dbgLn.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -93,8 +118,29 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "asapd: http shutdown:", err)
 		code = 1
 	}
+	if dbgSrv != nil {
+		_ = dbgSrv.Shutdown(deadline) //nolint:errcheck // best effort; debug only
+	}
 	if code == 0 {
 		fmt.Fprintln(os.Stderr, "asapd: clean drain, bye")
 	}
 	return code
+}
+
+// debugMux builds the debug listener's handler: net/http/pprof on its
+// standard paths plus the service's Prometheus exposition. Registered
+// explicitly (not via the pprof init side effect on DefaultServeMux) so the
+// public API listener never inherits the profile endpoints.
+func debugMux(svc *asapd.Service) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = svc.WriteProm(w) //nolint:errcheck // headers are sent; nothing left to do
+	})
+	return mux
 }

@@ -7,16 +7,22 @@
 //	asaptrace record -workload mcf -procs 4 -mix mcf,canneal -o mix.trc
 //	asaptrace info mc80.trc.gz
 //	asaptrace replay -asap p1+p2 mc80.trc.gz
+//	asaptrace replay -asap p1+p2 -events events.json mc80.trc.gz
 //
 // record simulates the scenario with a reference tap attached and writes one
 // trace per process (multi-process captures write <base>.p<N><ext>). The
 // reference stream depends only on the workload, seed and schedule — not on
 // ASAP configuration — so one capture serves a whole ablation grid. info
 // prints the header, footprint and a reuse-distance summary. replay drives a
-// native scenario from the trace and prints the usual metrics.
+// native scenario from the trace and prints the usual metrics; -events
+// additionally records a cycle-domain event trace in Chrome trace_event JSON
+// (load it at ui.perfetto.dev), and -prom writes the run's metric registry in
+// Prometheus text format.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -62,7 +69,8 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   asaptrace record -workload NAME [-procs N -mix LIST] [-warmup N -measure N] [-seed N] [-fast] [-gzip] -o FILE
   asaptrace info FILE
-  asaptrace replay [-asap CFG] [-colocate] [-ctlb] [-holes P] [-warmup N -measure N] [-fast] FILE
+  asaptrace replay [-asap CFG] [-colocate] [-ctlb] [-holes P] [-warmup N -measure N] [-fast]
+                   [-events FILE [-sample N] [-prom FILE]] FILE
 `)
 }
 
@@ -204,10 +212,16 @@ func replay(args []string) error {
 		warmup    = fs.Int("warmup", 0, "warmup page walks (0 = default)")
 		measure   = fs.Int("measure", 0, "measured page walks (0 = default)")
 		fast      = fs.Bool("fast", false, "reduced measurement protocol")
+		events    = fs.String("events", "", "write a Chrome trace_event JSON of the run (load at ui.perfetto.dev)")
+		sample    = fs.Int("sample", 1, "with -events, trace every Nth walk (and TLB hit)")
+		promOut   = fs.String("prom", "", "with -events, write the run's metrics in Prometheus text format")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay needs exactly one trace file")
+	}
+	if *events == "" && *promOut != "" {
+		return fmt.Errorf("-prom requires -events")
 	}
 	cfg, err := core.ParseConfig(*asapFlag)
 	if err != nil {
@@ -232,9 +246,29 @@ func replay(args []string) error {
 	sc.ASAP = sim.ASAPConfig{Native: cfg}
 	sc.Colocated = *colocate
 	sc.ClusteredTLB = *clustered
-	res, err := sim.Run(sc, p)
+	var tracer *obs.Tracer
+	var reg *obs.Registry
+	if *events != "" {
+		if *promOut != "" {
+			reg = obs.NewRegistry()
+		}
+		tracer = obs.NewTracer(obs.TraceConfig{Sample: *sample, Metrics: reg})
+	}
+	res, err := sim.RunObserved(context.Background(), sc, p, nil, tracer)
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		if err := writeEvents(*events, tracer); err != nil {
+			return err
+		}
+		fmt.Printf("event trace         %s: %d events (sample 1/%d)\n", *events, len(tracer.Events()), *sample)
+		if reg != nil {
+			if err := writeProm(*promOut, reg); err != nil {
+				return err
+			}
+			fmt.Printf("metrics             %s\n", *promOut)
+		}
 	}
 	fmt.Printf("scenario            %s\n", sc.Name())
 	fmt.Printf("trace               %s: %d refs, digest %s\n", fs.Arg(0), tr.Count, tr.Digest)
@@ -251,4 +285,35 @@ func replay(args []string) error {
 		fmt.Println("note: the trace ran dry before the measurement window; shrink -warmup/-measure (or pass -fast)")
 	}
 	return nil
+}
+
+// writeEvents writes the tracer's event buffer as Chrome trace_event JSON.
+func writeEvents(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := tracer.WriteJSON(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeProm writes the run's metric registry in Prometheus text format.
+func writeProm(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteProm(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,54 @@
+// Command obscheck validates observability artifacts — the CI teeth behind
+// internal/obs's format guarantees:
+//
+//	obscheck trace events.json    # Chrome trace_event JSON: parse + span nesting
+//	obscheck prom  metrics.prom   # Prometheus text exposition lint
+//
+// trace checks that the file parses as trace_event JSON, that every event's
+// phase and fields are well-formed, and that spans nest strictly within each
+// (pid, tid) track — the invariant Perfetto's flame view relies on. prom
+// checks HELP/TYPE metadata, name and label grammar, and histogram
+// consistency (monotonic cumulative buckets, a +Inf bucket equal to _count).
+// Exit status is 0 when the artifact is clean, 1 with one diagnostic per
+// problem otherwise.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck trace|prom FILE")
+		os.Exit(2)
+	}
+	mode, path := os.Args[1], os.Args[2]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		os.Exit(1)
+	}
+	switch mode {
+	case "trace":
+		n, err := obs.ValidateTraceJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d events, spans nest\n", path, n)
+	case "prom":
+		if errs := obs.LintProm(data); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", path, e)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("%s: exposition is clean\n", path)
+	default:
+		fmt.Fprintf(os.Stderr, "obscheck: unknown mode %q (want trace or prom)\n", mode)
+		os.Exit(2)
+	}
+}

@@ -25,6 +25,9 @@
 // DIR/<format>/ plus a grouped mean/std/CI95 summary under DIR/analysis/ —
 // in the format selected by -format (csv or json).
 //
+// -progress prints live cell progress to stderr (done/submitted, a decaying
+// cells-per-second rate and an ETA) — useful for the multi-minute full grids.
+//
 // -timeout D bounds the whole run: on expiry in-flight simulations abort at
 // the simulator's next context check, the exit code is 1, and stderr lists
 // every cell that completed before the deadline (memoized results that -out
@@ -44,9 +47,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/mmu"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/workload"
@@ -74,6 +79,7 @@ func run() (exit int) {
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = none); completed cells are listed on timeout")
 		tracef  = flag.String("trace", "", "reference-trace file for the trace-asap and compare-schemes experiments (record with asaptrace)")
 		scheme  = flag.String("scheme", "", "translation scheme for every cell ("+strings.Join(mmu.Names(), ", ")+"; empty = per-experiment default)")
+		progrss = flag.Bool("progress", false, "report live cell progress (count, rate, ETA) on stderr")
 	)
 	flag.Parse()
 
@@ -154,6 +160,9 @@ func run() (exit int) {
 	r := runner.New(*jobs)
 	defer r.Close()
 	o.Runner = r
+	if *progrss {
+		defer startProgress(r)()
+	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
@@ -191,4 +200,38 @@ func run() (exit int) {
 		fmt.Fprintf(os.Stderr, "report: wrote %d records (%s) to %s\n", len(records), *format, *out)
 	}
 	return code
+}
+
+// startProgress polls the runner's progress counters and prints a stderr line
+// whenever they move (rate and ETA from a decaying average over unique cells,
+// with the submitted count as the moving total — experiments submit their
+// grids as they start, so the total grows until the last grid is in). The
+// returned func stops the poller; call it before the runner closes.
+func startProgress(r *runner.Runner) func() {
+	meter := obs.NewProgressMeter(0, 0)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		var last runner.Progress
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			p := r.Progress()
+			if p == last {
+				continue
+			}
+			last = p
+			meter.SetTotal(int64(p.Submitted))
+			meter.Observe(time.Now().UnixNano(), int64(p.Done))
+			fmt.Fprintf(os.Stderr, "progress: %s · %d in flight\n",
+				obs.FormatProgress("cells", meter.Snapshot()), p.InFlight)
+		}
+	}()
+	return func() { close(stop); <-done }
 }

@@ -28,12 +28,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
 	"repro/internal/asapd/faultfs"
 	"repro/internal/asapd/queue"
 	"repro/internal/asapd/store"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -90,7 +92,15 @@ type Service struct {
 	rootCancel context.CancelFunc
 	wg         sync.WaitGroup // job workers
 
-	mu        sync.Mutex
+	mu sync.Mutex
+	// queued mirrors the queue's occupancy under s.mu: incremented before a
+	// successful TryPush, decremented by the popping worker in the same
+	// critical section that marks the job in flight. The queue's own Len()
+	// would be read under a different lock at a different instant — during a
+	// pop, a snapshot could count one job both queued and in flight, showing
+	// depth + in-flight above capacity. The mirrored counter makes the
+	// queued -> in-flight transition atomic with respect to MetricsSnapshot.
+	queued    int
 	jobs      map[string]*Job
 	order     []string // job IDs in submission order
 	nextID    uint64
@@ -98,6 +108,7 @@ type Service struct {
 	inFlight  int // jobs currently executing
 	cellsDone uint64
 	started   time.Time
+	cellRate  *obs.ProgressMeter // EWMA cells/s, fed with clock timestamps
 }
 
 // New builds the service and starts its job workers. StoreDir (when set) is
@@ -131,6 +142,7 @@ func New(cfg Config) (*Service, error) {
 	s.runner = runner.New(cfg.Workers)
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
 	s.started = s.clock.Now()
+	s.cellRate = obs.NewProgressMeter(0, 0)
 	s.wg.Add(cfg.JobWorkers)
 	for i := 0; i < cfg.JobWorkers; i++ {
 		go s.jobWorker()
@@ -151,6 +163,15 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, ErrDraining
 	}
+	// Reserve queue capacity under s.mu. queued never undercounts the queue's
+	// real occupancy (it is incremented before the push and decremented after
+	// the pop), so a reservation that fits here guarantees TryPush below
+	// cannot find the queue full.
+	if s.queued >= s.q.Cap() {
+		s.mu.Unlock()
+		return nil, ErrBusy
+	}
+	s.queued++
 	s.nextID++
 	id := fmt.Sprintf("job-%d", s.nextID)
 	s.mu.Unlock()
@@ -159,6 +180,9 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	// Push before registering: a refused push leaves no trace, and a worker
 	// that pops instantly works on the shared *Job regardless of the map.
 	if err := s.q.TryPush(j); err != nil {
+		s.mu.Lock()
+		s.queued--
+		s.mu.Unlock()
 		switch {
 		case errors.Is(err, queue.ErrFull):
 			return nil, ErrBusy
@@ -200,7 +224,10 @@ func (s *Service) jobWorker() {
 		if !ok {
 			return
 		}
+		// One critical section moves the job from queued to in flight, so a
+		// metrics snapshot sees it in exactly one of the two counters.
 		s.mu.Lock()
+		s.queued--
 		s.inFlight++
 		s.mu.Unlock()
 		s.runJob(j)
@@ -276,9 +303,12 @@ func (s *Service) collect(ctx context.Context, f *runner.Future, pc plannedCell)
 func (s *Service) finishCell(j *Job, i int, pc plannedCell, source string, res *sim.Result) {
 	rec := report.FromResult("asapd", pc.sc, pc.base, pc.repeat, res)
 	j.completeCell(i, source, &rec)
+	now := s.clock.Now()
 	s.mu.Lock()
 	s.cellsDone++
+	done := s.cellsDone
 	s.mu.Unlock()
+	s.cellRate.Observe(now.UnixNano(), int64(done))
 }
 
 func (s *Service) storeGet(key sim.CellKey) (*sim.Result, bool) {
@@ -343,41 +373,65 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// Metrics is the /metrics document.
+// Metrics is the /metrics document. QueueDepth and JobsInFlight come from one
+// snapshot lock, so QueueDepth + JobsInFlight never exceeds QueueCap +
+// JobWorkers (a job is never counted in both).
 type Metrics struct {
 	QueueDepth   int     `json:"queue_depth"`
 	QueueCap     int     `json:"queue_cap"`
 	JobsInFlight int     `json:"jobs_in_flight"`
 	CellsDone    uint64  `json:"cells_done"`
 	CellsPerSec  float64 `json:"cells_per_sec"`
-	UptimeSec    float64 `json:"uptime_sec"`
-	Draining     bool    `json:"draining"`
+	// CellsPerSecRecent is a decaying average of recent throughput (5 s
+	// half-life), as opposed to CellsPerSec's lifetime mean.
+	CellsPerSecRecent float64 `json:"cells_per_sec_recent"`
+	UptimeSec         float64 `json:"uptime_sec"`
+	Draining          bool    `json:"draining"`
 
 	RunnerHits   uint64 `json:"runner_hits"`
 	RunnerMisses uint64 `json:"runner_misses"`
+	// Runner progress: unique cells accepted, finished and executing right
+	// now on the shared simulation worker pool (runner.Progress).
+	RunnerCellsSubmitted uint64 `json:"runner_cells_submitted"`
+	RunnerCellsDone      uint64 `json:"runner_cells_done"`
+	RunnerCellsInFlight  uint64 `json:"runner_cells_in_flight"`
+	// RunnerMemoHitRate is hits/(hits+misses) of result collection — the
+	// fraction of collected cells served without a fresh simulation.
+	RunnerMemoHitRate float64 `json:"runner_memo_hit_rate"`
 
 	Store        *store.Stats `json:"store,omitempty"`
 	StoreHitRate float64      `json:"store_hit_rate,omitempty"`
 }
 
-// MetricsSnapshot gathers the service's counters.
+// MetricsSnapshot gathers the service's counters. Queue depth and job
+// in-flight are the mirrored counters read under the one s.mu section that
+// the worker's queued->in-flight transition also holds, so the pair is
+// consistent at any instant.
 func (s *Service) MetricsSnapshot() Metrics {
 	hits, misses := s.runner.Stats()
+	prog := s.runner.Progress()
 	s.mu.Lock()
 	m := Metrics{
-		QueueDepth:   s.q.Len(),
-		QueueCap:     s.q.Cap(),
-		JobsInFlight: s.inFlight,
-		CellsDone:    s.cellsDone,
-		Draining:     s.draining,
-		RunnerHits:   hits,
-		RunnerMisses: misses,
+		QueueDepth:           s.queued,
+		QueueCap:             s.q.Cap(),
+		JobsInFlight:         s.inFlight,
+		CellsDone:            s.cellsDone,
+		Draining:             s.draining,
+		RunnerHits:           hits,
+		RunnerMisses:         misses,
+		RunnerCellsSubmitted: prog.Submitted,
+		RunnerCellsDone:      prog.Done,
+		RunnerCellsInFlight:  prog.InFlight,
 	}
 	uptime := s.clock.Now().Sub(s.started).Seconds()
 	s.mu.Unlock()
 	if uptime > 0 {
 		m.UptimeSec = uptime
 		m.CellsPerSec = float64(m.CellsDone) / uptime
+	}
+	m.CellsPerSecRecent = s.cellRate.Rate()
+	if collected := hits + misses; collected > 0 {
+		m.RunnerMemoHitRate = float64(hits) / float64(collected)
 	}
 	if s.store != nil {
 		st := s.store.Stats()
@@ -387,4 +441,45 @@ func (s *Service) MetricsSnapshot() Metrics {
 		}
 	}
 	return m
+}
+
+// WriteProm renders the metrics snapshot in Prometheus text exposition
+// format (content negotiated by /metrics?format=prom). The registry is built
+// per call from one MetricsSnapshot, so the exposition is as consistent as
+// the JSON document.
+func (s *Service) WriteProm(w io.Writer) error {
+	m := s.MetricsSnapshot()
+	reg := obs.NewRegistry()
+	gauge := func(name, help string, v float64) { reg.Gauge(name, help).Set(v) }
+	counter := func(name, help string, v uint64) { reg.Counter(name, help).Add(v) }
+
+	gauge("asapd_queue_depth", "Jobs waiting in the bounded queue.", float64(m.QueueDepth))
+	gauge("asapd_queue_capacity", "Capacity of the bounded job queue.", float64(m.QueueCap))
+	gauge("asapd_jobs_in_flight", "Jobs currently executing.", float64(m.JobsInFlight))
+	counter("asapd_cells_done_total", "Cells completed since start.", m.CellsDone)
+	gauge("asapd_cells_per_sec", "Recent cell throughput (decaying average).", m.CellsPerSecRecent)
+	gauge("asapd_uptime_seconds", "Seconds since the service started.", m.UptimeSec)
+	draining := 0.0
+	if m.Draining {
+		draining = 1
+	}
+	gauge("asapd_draining", "1 while shutdown is draining the service.", draining)
+
+	counter("asapd_runner_hits_total", "Cell collections served from the runner memo.", m.RunnerHits)
+	counter("asapd_runner_misses_total", "Cell collections that ran a fresh simulation.", m.RunnerMisses)
+	counter("asapd_runner_cells_submitted_total", "Unique cells accepted by the runner.", m.RunnerCellsSubmitted)
+	counter("asapd_runner_cells_done_total", "Runner cells whose simulation finished.", m.RunnerCellsDone)
+	gauge("asapd_runner_cells_in_flight", "Cells executing on simulation workers.", float64(m.RunnerCellsInFlight))
+	gauge("asapd_runner_memo_hit_rate", "Fraction of collected cells served from the memo.", m.RunnerMemoHitRate)
+
+	if m.Store != nil {
+		counter("asapd_store_hits_total", "Result-store lookups served.", m.Store.Hits)
+		counter("asapd_store_misses_total", "Result-store lookups that missed.", m.Store.Misses)
+		counter("asapd_store_corrupt_total", "Store entries quarantined as corrupt.", m.Store.Corrupt)
+		counter("asapd_store_writes_total", "Results persisted to the store.", m.Store.Writes)
+		counter("asapd_store_write_errors_total", "Store writes that failed.", m.Store.WriteErrors)
+		counter("asapd_store_recovered_total", "Entries recovered by the startup sweep.", m.Store.Recovered)
+		gauge("asapd_store_hit_rate", "Fraction of store lookups served.", m.StoreHitRate)
+	}
+	return reg.WriteProm(w)
 }

@@ -19,7 +19,8 @@ const retryAfterSeconds = "1"
 //	POST /v1/jobs      submit a JobSpec  -> 202 JobStatus | 400 | 429 | 503
 //	GET  /v1/jobs      list all jobs     -> 200 []JobStatus
 //	GET  /v1/jobs/{id} one job's status  -> 200 JobStatus | 404
-//	GET  /metrics      service counters  -> 200 Metrics
+//	GET  /metrics      service counters  -> 200 Metrics (JSON; ?format=prom
+//	                   selects Prometheus text exposition)
 //	GET  /healthz      liveness          -> 200 | 503 (draining)
 //
 // Every response body is JSON; errors use {"error": "..."}.
@@ -90,7 +91,13 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Status())
 }
 
-func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = s.WriteProm(w) //nolint:errcheck // headers are sent; nothing left to do
+		return
+	}
 	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
 }
 

@@ -234,6 +234,15 @@ type CellStatus struct {
 	Record *report.Record `json:"record,omitempty"`
 }
 
+// JobProgress summarizes how far a job has advanced, derived from the
+// per-cell states at snapshot time (Total = Done + Failed + Pending).
+type JobProgress struct {
+	Total   int `json:"total"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+	Pending int `json:"pending"`
+}
+
 // JobStatus is the wire form of a job.
 type JobStatus struct {
 	ID        string       `json:"id"`
@@ -241,6 +250,7 @@ type JobStatus struct {
 	Submitted time.Time    `json:"submitted"`
 	Started   *time.Time   `json:"started,omitempty"`
 	Finished  *time.Time   `json:"finished,omitempty"`
+	Progress  JobProgress  `json:"progress"`
 	Cells     []CellStatus `json:"cells"`
 	// Error summarizes a partial outcome (e.g. the job deadline expired):
 	// completed cells keep their results, the rest carry per-cell errors.
@@ -334,6 +344,17 @@ func (j *Job) Status() JobStatus {
 		Submitted: j.submitted,
 		Cells:     append([]CellStatus(nil), j.cells...),
 		Error:     j.errMsg,
+	}
+	st.Progress.Total = len(j.cells)
+	for _, c := range j.cells {
+		switch c.State {
+		case "done":
+			st.Progress.Done++
+		case "error":
+			st.Progress.Failed++
+		default:
+			st.Progress.Pending++
+		}
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pt"
 )
 
@@ -129,6 +130,10 @@ type Engine struct {
 	capacity int
 	regs     []*Descriptor
 
+	// Trace, when non-nil, receives a range-probe event per lookup
+	// (internal/obs). Disabled tracing costs one nil check per TLB miss.
+	Trace *obs.Tracer
+
 	lookups    uint64
 	rangeHits  uint64
 	installs   uint64
@@ -191,8 +196,14 @@ func (e *Engine) Lookup(va mem.VirtAddr) *Descriptor {
 	for _, d := range e.regs {
 		if d.Contains(va) {
 			e.rangeHits++
+			if e.Trace != nil {
+				e.Trace.AccelProbe("range", true)
+			}
 			return d
 		}
+	}
+	if e.Trace != nil {
+		e.Trace.AccelProbe("range", false)
 	}
 	return nil
 }

@@ -30,6 +30,7 @@ var Scope = []string{
 	"repro/internal/core",
 	"repro/internal/mmu",
 	"repro/internal/exp",
+	"repro/internal/obs",
 	"repro/internal/report",
 	"repro/internal/runner",
 	"repro/internal/trace",

@@ -4,6 +4,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pt"
 	"repro/internal/pwc"
 	"repro/internal/tlb"
@@ -20,6 +21,7 @@ type asapScheme struct {
 	w      *walker.Walker
 	engine *core.Engine // nil for the baseline
 	mshr   *cache.MSHRFile
+	tr     *obs.Tracer
 
 	flushOnSwitch bool
 	procs         procList
@@ -31,12 +33,14 @@ func newASAP(cfg Config) *asapScheme {
 		tlb:           tlb.NewTwoLevel(cfg.ClusteredTLB),
 		pwc:           pwc.New(cfg.PWC),
 		mshr:          cfg.MSHR,
+		tr:            cfg.Trace,
 		flushOnSwitch: cfg.FlushOnSwitch,
 	}
 	if cfg.ASAP.Enabled() {
 		s.engine = core.NewEngine(cfg.RangeRegisters, cfg.ASAP)
+		s.engine.Trace = cfg.Trace
 	}
-	s.w = &walker.Walker{H: cfg.Hier, PWC: s.pwc, ASAP: s.engine, MSHR: cfg.MSHR}
+	s.w = &walker.Walker{H: cfg.Hier, PWC: s.pwc, ASAP: s.engine, MSHR: cfg.MSHR, Trace: cfg.Trace}
 	return s
 }
 
@@ -77,7 +81,13 @@ func (s *asapScheme) Translate(now int64, va mem.VirtAddr, wr *walker.Result) bo
 	p := s.cur
 	pfn := p.Frame(va.VPN())
 	if s.tlb.LookupVA(va, pfn, p.Neighbors) {
+		if s.tr != nil {
+			s.tr.TLBHit(now)
+		}
 		return false
+	}
+	if s.tr != nil {
+		s.tr.WalkStart(now)
 	}
 	s.w.Walk(now, p.Table, va, wr)
 	s.tlb.InsertVA(va, wr.Huge, pfn, p.Neighbors)
@@ -119,6 +129,8 @@ type NestedConfig struct {
 	// DataGPA maps a guest virtual address to the guest-physical address
 	// backing its data page.
 	DataGPA func(va mem.VirtAddr) mem.PhysAddr
+	// Trace receives the scheme's translation events (see Config.Trace).
+	Trace *obs.Tracer
 }
 
 // nestedScheme is the virtualized asap pipeline. Virtualization is
@@ -128,6 +140,7 @@ type nestedScheme struct {
 	tlb     *tlb.TwoLevel
 	w       *walker.Nested
 	mshr    *cache.MSHRFile
+	tr      *obs.Tracer
 	dataGPA func(va mem.VirtAddr) mem.PhysAddr
 }
 
@@ -138,6 +151,7 @@ func NewNested(cfg NestedConfig) Scheme {
 	s := &nestedScheme{
 		tlb:     tlb.NewTwoLevel(cfg.ClusteredTLB),
 		mshr:    cfg.MSHR,
+		tr:      cfg.Trace,
 		dataGPA: cfg.DataGPA,
 	}
 	s.w = &walker.Nested{
@@ -150,6 +164,13 @@ func NewNested(cfg NestedConfig) Scheme {
 		GuestPT:   cfg.GuestPT,
 		HostPT:    cfg.HostPT,
 		Translate: cfg.Translate,
+		Trace:     cfg.Trace,
+	}
+	if s.w.GuestASAP != nil {
+		s.w.GuestASAP.Trace = cfg.Trace
+	}
+	if s.w.HostASAP != nil {
+		s.w.HostASAP.Trace = cfg.Trace
 	}
 	return s
 }
@@ -186,7 +207,13 @@ func (s *nestedScheme) Translate(now int64, va mem.VirtAddr, wr *walker.Result) 
 	gpa := s.dataGPA(va)
 	maddr := s.w.Translate(gpa)
 	if s.tlb.LookupVA(va, uint64(maddr.Frame()), nil) {
+		if s.tr != nil {
+			s.tr.TLBHit(now)
+		}
 		return false
+	}
+	if s.tr != nil {
+		s.tr.WalkStart(now)
 	}
 	s.w.Walk(now, va, gpa, wr)
 	s.tlb.InsertVA(va, wr.Huge, uint64(maddr.Frame()), nil)

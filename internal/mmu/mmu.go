@@ -27,6 +27,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pt"
 	"repro/internal/pwc"
 	"repro/internal/tlb"
@@ -116,6 +117,10 @@ type Config struct {
 	// FlushOnSwitch selects the untagged context-switch policy: Switch
 	// flushes translation state instead of retagging by ASID.
 	FlushOnSwitch bool
+	// Trace, when non-nil, receives the scheme's translation events: TLB
+	// hits, walk-context opens, acceleration-path probes (internal/obs).
+	// Disabled tracing costs one nil check per translation.
+	Trace *obs.Tracer
 }
 
 // schemeNames lists the registered backends in presentation order.

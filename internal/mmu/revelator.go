@@ -3,6 +3,7 @@ package mmu
 import (
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pwc"
 	"repro/internal/rng"
 	"repro/internal/tlb"
@@ -39,6 +40,7 @@ type revelatorScheme struct {
 	pwc *pwc.PWC
 	w   *walker.Walker
 	h   *cache.Hierarchy
+	tr  *obs.Tracer
 
 	// entries models the table's bounded occupancy: per-bucket capacity with
 	// OS LRU replacement. Keys are mixed (pid, page, class) tags whose low
@@ -60,10 +62,11 @@ func newRevelator(cfg Config) *revelatorScheme {
 		tlb:           tlb.NewTwoLevel(cfg.ClusteredTLB),
 		pwc:           pwc.New(cfg.PWC),
 		h:             cfg.Hier,
+		tr:            cfg.Trace,
 		entries:       cache.NewSetAssoc(revelatorBuckets*revelatorWays, revelatorWays),
 		flushOnSwitch: cfg.FlushOnSwitch,
 	}
-	s.w = &walker.Walker{H: cfg.Hier, PWC: s.pwc, MSHR: cfg.MSHR}
+	s.w = &walker.Walker{H: cfg.Hier, PWC: s.pwc, MSHR: cfg.MSHR, Trace: cfg.Trace}
 	return s
 }
 
@@ -107,7 +110,13 @@ func (s *revelatorScheme) Translate(now int64, va mem.VirtAddr, wr *walker.Resul
 	p := s.cur
 	pfn := p.Frame(va.VPN())
 	if s.tlb.LookupVA(va, pfn, p.Neighbors) {
+		if s.tr != nil {
+			s.tr.TLBHit(now)
+		}
 		return false
+	}
+	if s.tr != nil {
+		s.tr.WalkStart(now)
 	}
 	s.probes++
 	k4, a4 := s.slot(tlb.PageNumber(va, tlb.Page4K), tlb.Page4K)
@@ -124,10 +133,17 @@ func (s *revelatorScheme) Translate(now int64, va mem.VirtAddr, wr *walker.Resul
 	hit2 := !hit4 && s.entries.Lookup(k2)
 	if hit4 || hit2 {
 		s.hits++
+		if s.tr != nil {
+			s.tr.AccelProbe("hash", true)
+		}
 		// Speculative translation at bucket-fetch latency; the verification
 		// walk proceeds off the critical path but performs its memory and
-		// PWC accesses.
+		// PWC accesses. Its steps are not traced: overlapping the speculative
+		// resolution, they would break the timeline's span nesting, and the
+		// walk's cycles are off the critical path by construction.
+		s.w.Trace = nil
 		s.w.Walk(now, p.Table, va, &s.scratch)
+		s.w.Trace = s.tr
 		level := 1
 		if hit2 {
 			level = 2
@@ -136,8 +152,14 @@ func (s *revelatorScheme) Translate(now int64, va mem.VirtAddr, wr *walker.Resul
 		wr.Accesses[0] = walker.Access{
 			Dim: walker.DimNative, Level: int8(level), Served: served, Cycles: int32(lat),
 		}
+		if s.tr != nil {
+			s.tr.Step(walker.DimNative.String(), level, served.String(), now, int64(lat), false)
+		}
 		s.tlb.InsertVA(va, hit2, pfn, p.Neighbors)
 		return true
+	}
+	if s.tr != nil {
+		s.tr.AccelProbe("hash", false)
 	}
 	s.w.Walk(now, p.Table, va, wr)
 	// The walk started alongside the bucket fetches; a fetch outlasting the

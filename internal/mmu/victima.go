@@ -3,6 +3,7 @@ package mmu
 import (
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pwc"
 	"repro/internal/tlb"
 	"repro/internal/walker"
@@ -25,6 +26,7 @@ type victimaScheme struct {
 	pwc *pwc.PWC
 	w   *walker.Walker
 	h   *cache.Hierarchy
+	tr  *obs.Tracer
 
 	// resident tags the translations transplanted into the L2 cache, with
 	// the L2's own geometry (one tag per line). A tag records that a
@@ -47,11 +49,12 @@ func newVictima(cfg Config) *victimaScheme {
 		tlb:           tlb.NewTwoLevel(cfg.ClusteredTLB),
 		pwc:           pwc.New(cfg.PWC),
 		h:             cfg.Hier,
+		tr:            cfg.Trace,
 		resident:      cache.NewSetAssoc(l2.SizeBytes/mem.LineBytes, l2.Ways),
 		probeLat:      l2.Latency,
 		flushOnSwitch: cfg.FlushOnSwitch,
 	}
-	s.w = &walker.Walker{H: cfg.Hier, PWC: s.pwc, MSHR: cfg.MSHR}
+	s.w = &walker.Walker{H: cfg.Hier, PWC: s.pwc, MSHR: cfg.MSHR, Trace: cfg.Trace}
 	return s
 }
 
@@ -116,11 +119,20 @@ func (s *victimaScheme) Translate(now int64, va mem.VirtAddr, wr *walker.Result)
 	p := s.cur
 	pfn := p.Frame(va.VPN())
 	if s.tlb.LookupVA(va, pfn, p.Neighbors) {
+		if s.tr != nil {
+			s.tr.TLBHit(now)
+		}
 		return false
+	}
+	if s.tr != nil {
+		s.tr.WalkStart(now)
 	}
 	s.probes++
 	if served, lat, huge, ok := s.probe(va); ok {
 		s.hits++
+		if s.tr != nil {
+			s.tr.AccelProbe("resident", true)
+		}
 		level := 1
 		if huge {
 			level = 2
@@ -129,8 +141,14 @@ func (s *victimaScheme) Translate(now int64, va mem.VirtAddr, wr *walker.Result)
 		wr.Accesses[0] = walker.Access{
 			Dim: walker.DimNative, Level: int8(level), Served: served, Cycles: int32(lat),
 		}
+		if s.tr != nil {
+			s.tr.Step(walker.DimNative.String(), level, served.String(), now, int64(lat), false)
+		}
 		s.tlb.InsertVA(va, huge, pfn, p.Neighbors)
 		return true
+	}
+	if s.tr != nil {
+		s.tr.AccelProbe("resident", false)
 	}
 	s.w.Walk(now, p.Table, va, wr)
 	// The failed L2 probe precedes the walk on the critical path.

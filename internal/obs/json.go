@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace_event export and an in-repo validator for the result.
+//
+// WriteJSON is hand-rolled rather than encoding/json-driven so the byte
+// stream is a pure function of the event list: fixed field order, no map
+// iteration, no float formatting variance. ValidateTraceJSON is the inverse
+// gate used by tests and the CI smoke job — it parses with encoding/json
+// (deliberately not sharing code with the writer) and checks the structural
+// invariants a timeline viewer relies on.
+
+// trackName maps the fixed track ids to sidebar names.
+func trackName(tid int32) string {
+	switch tid {
+	case TrackSched:
+		return "sched"
+	case TrackTranslate:
+		return "translate"
+	case TrackPrefetch:
+		return "prefetch"
+	default:
+		return "track-" + strconv.Itoa(int(tid))
+	}
+}
+
+func writeArg(w *bufio.Writer, a Arg) {
+	w.WriteString(strconv.Quote(a.Key))
+	w.WriteByte(':')
+	switch a.Kind {
+	case ArgStr:
+		w.WriteString(strconv.Quote(a.Str))
+	case ArgInt:
+		w.WriteString(strconv.FormatInt(a.Int, 10))
+	case ArgBool:
+		w.WriteString(strconv.FormatBool(a.Bool))
+	}
+}
+
+// WriteJSON writes the recorded events as a Chrome trace_event JSON object
+// ({"traceEvents":[...]}) loadable in Perfetto and chrome://tracing.
+// Timestamps are simulated cycles written into the "ts"/"dur" microsecond
+// fields — the unit label in the viewer reads µs, the shape of the timeline
+// is cycle-accurate. process_name/thread_name metadata events are
+// synthesized for every (pid, tid) pair that appears.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[")
+	first := true
+	emit := func(f func()) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		f()
+	}
+
+	// Metadata first: explicit DefineProcess names, then thread names for
+	// every (pid, tid) pair seen in the event stream, in sorted order.
+	named := map[int32]bool{}
+	if t != nil {
+		for _, p := range t.procs {
+			named[p.pid] = true
+			p := p
+			emit(func() {
+				fmt.Fprintf(bw,
+					`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+					p.pid, strconv.Quote(p.name))
+			})
+		}
+	}
+	type pt struct{ pid, tid int32 }
+	seen := map[pt]bool{}
+	var pairs []pt
+	for _, e := range t.Events() {
+		k := pt{e.PID, e.TID}
+		if !seen[k] {
+			seen[k] = true
+			pairs = append(pairs, k)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].pid != pairs[j].pid {
+			return pairs[i].pid < pairs[j].pid
+		}
+		return pairs[i].tid < pairs[j].tid
+	})
+	for _, k := range pairs {
+		k := k
+		if !named[k.pid] {
+			named[k.pid] = true
+			emit(func() {
+				fmt.Fprintf(bw,
+					`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"proc %d"}}`,
+					k.pid, k.pid)
+			})
+		}
+		emit(func() {
+			fmt.Fprintf(bw,
+				`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+				k.pid, k.tid, strconv.Quote(trackName(k.tid)))
+		})
+	}
+
+	for _, e := range t.Events() {
+		e := e
+		emit(func() {
+			bw.WriteByte('{')
+			bw.WriteString(`"name":`)
+			bw.WriteString(strconv.Quote(e.Name))
+			fmt.Fprintf(bw, `,"ph":"%c","ts":%d`, e.Ph, e.TS)
+			if e.Ph == 'X' {
+				fmt.Fprintf(bw, `,"dur":%d`, e.Dur)
+			}
+			fmt.Fprintf(bw, `,"pid":%d,"tid":%d`, e.PID, e.TID)
+			if e.Ph == 'i' {
+				bw.WriteString(`,"s":"t"`) // thread-scoped instant
+			}
+			if len(e.Args) > 0 {
+				bw.WriteString(`,"args":{`)
+				for i, a := range e.Args {
+					if i > 0 {
+						bw.WriteByte(',')
+					}
+					writeArg(bw, a)
+				}
+				bw.WriteByte('}')
+			}
+			bw.WriteByte('}')
+		})
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// jsonEvent is the subset of trace_event fields the validator inspects.
+type jsonEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	TS   int64           `json:"ts"`
+	Dur  int64           `json:"dur"`
+	PID  int32           `json:"pid"`
+	TID  int32           `json:"tid"`
+	S    string          `json:"s"`
+	Args json.RawMessage `json:"args"`
+}
+
+// ValidateTraceJSON checks that data is a structurally sound trace_event
+// file: it parses as {"traceEvents":[...]}, every event has a known phase,
+// complete spans have non-negative durations, instants carry a scope, and
+// within each (pid, tid) track the complete spans nest strictly — no span
+// partially overlaps another, which is the property that makes a flame-style
+// timeline renderable. Returns the number of events on success.
+func ValidateTraceJSON(data []byte) (int, error) {
+	var doc struct {
+		TraceEvents []jsonEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("trace JSON does not parse: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return 0, fmt.Errorf("trace JSON has no traceEvents array")
+	}
+
+	type key struct{ pid, tid int32 }
+	spans := map[key][]jsonEvent{}
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			continue
+		case "i":
+			if e.S == "" {
+				return 0, fmt.Errorf("event %d (%s): instant without scope", i, e.Name)
+			}
+		case "X":
+			if e.Dur < 0 {
+				return 0, fmt.Errorf("event %d (%s): negative duration %d", i, e.Name, e.Dur)
+			}
+			k := key{e.PID, e.TID}
+			spans[k] = append(spans[k], e)
+		default:
+			return 0, fmt.Errorf("event %d (%s): unknown phase %q", i, e.Name, e.Ph)
+		}
+	}
+
+	// Nesting check per track: sort by start asc, duration desc (the order
+	// viewers use to build the flame stack), then sweep with a stack of open
+	// spans. A span starting before the innermost open span ends must also
+	// end by then.
+	tracks := make([]key, 0, len(spans))
+	for k := range spans {
+		tracks = append(tracks, k)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+	for _, k := range tracks {
+		ss := spans[k]
+		sort.SliceStable(ss, func(i, j int) bool {
+			if ss[i].TS != ss[j].TS {
+				return ss[i].TS < ss[j].TS
+			}
+			return ss[i].Dur > ss[j].Dur
+		})
+		var stack []jsonEvent
+		for _, e := range ss {
+			for len(stack) > 0 && stack[len(stack)-1].TS+stack[len(stack)-1].Dur <= e.TS {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				if e.TS+e.Dur > top.TS+top.Dur {
+					return 0, fmt.Errorf(
+						"track pid=%d tid=%d: span %q [%d,%d) overlaps %q [%d,%d) without nesting",
+						k.pid, k.tid, e.Name, e.TS, e.TS+e.Dur, top.Name, top.TS, top.TS+top.Dur)
+				}
+			}
+			stack = append(stack, e)
+		}
+	}
+	return len(doc.TraceEvents), nil
+}

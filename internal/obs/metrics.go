@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// A dependency-free metrics registry with Prometheus text exposition.
+// Families register lazily on first use and are identified by (name, kind);
+// series within a family are identified by their ordered label sets.
+// Exposition sorts families by name and series by label values, so output
+// order is deterministic regardless of registration or update order.
+
+// Label is one key/value metric label. Series carry ordered []Label slices —
+// never maps — so identity and exposition order are deterministic.
+type Label struct {
+	Key string
+	Val string
+}
+
+// metricKind discriminates family types.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The float64 value is stored as
+// atomic bits so readers never see a torn write.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram. Upper bounds are set at
+// registration; a +Inf bucket is implicit. Observations take a mutex —
+// histograms live on instrumentation paths, not disabled hot paths.
+type Histogram struct {
+	mu     sync.Mutex
+	upper  []float64 // sorted, exclusive of +Inf
+	counts []uint64  // len(upper)+1; last is the +Inf bucket
+	sum    float64
+	total  uint64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.upper, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// snapshot returns cumulative bucket counts (per bound, then +Inf), sum and
+// total under the histogram's lock.
+func (h *Histogram) snapshot() (cum []uint64, sum float64, total uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.counts))
+	var run uint64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	return cum, h.sum, h.total
+}
+
+// series is one labeled instance within a family.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is one named metric with its HELP/TYPE and series set.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series // insertion-ordered; sorted at exposition
+}
+
+// Registry holds metric families. It is safe for concurrent use.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func labelsEqual(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup finds or creates the family and its series for the ordered label
+// set. Registering the same name with a different kind panics: that is a
+// programming error, not a runtime condition.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.fams[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	for _, s := range f.series {
+		if labelsEqual(s.labels, labels) {
+			return s
+		}
+	}
+	s := &series{labels: labels}
+	switch kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	}
+	f.series = append(f.series, s)
+	return s
+}
+
+// Counter returns the counter for name and the ordered label set,
+// registering it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.lookup(name, help, kindCounter, labels).c
+}
+
+// Gauge returns the gauge for name and the ordered label set, registering it
+// on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.lookup(name, help, kindGauge, labels).g
+}
+
+// Histogram returns the histogram for name and the ordered label set,
+// registering it with the given upper bounds on first use. Bounds must be
+// sorted ascending; +Inf is implicit. Later calls for an existing series
+// ignore the bounds argument.
+func (r *Registry) Histogram(name, help string, upper []float64, labels ...Label) *Histogram {
+	s := r.lookup(name, help, kindHistogram, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.h == nil {
+		bounds := append([]float64(nil), upper...)
+		s.h = &Histogram{upper: bounds, counts: make([]uint64, len(bounds)+1)}
+	}
+	return s.h
+}
+
+// formatValue renders a sample value the way Prometheus expects: integers
+// without an exponent, everything else via strconv's shortest round-trip
+// form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatBound renders a histogram upper bound for an le label.
+func formatBound(v float64) string {
+	return formatValue(v)
+}
+
+func writeLabels(w io.Writer, labels []Label, extra ...Label) {
+	all := labels
+	if len(extra) > 0 {
+		all = append(append([]Label(nil), labels...), extra...)
+	}
+	if len(all) == 0 {
+		return
+	}
+	io.WriteString(w, "{")
+	for i, l := range all {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		fmt.Fprintf(w, "%s=%q", l.Key, l.Val)
+	}
+	io.WriteString(w, "}")
+}
+
+// WriteProm writes the registry in Prometheus text exposition format 0.0.4.
+// Families sort by name and series by their label values, so the output is
+// byte-stable for a given metric state.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		ser := append([]*series(nil), f.series...)
+		sort.Slice(ser, func(i, j int) bool {
+			a, b := ser[i].labels, ser[j].labels
+			for k := 0; k < len(a) && k < len(b); k++ {
+				if a[k].Val != b[k].Val {
+					return a[k].Val < b[k].Val
+				}
+			}
+			return len(a) < len(b)
+		})
+		for _, s := range ser {
+			switch f.kind {
+			case kindCounter:
+				io.WriteString(w, f.name)
+				writeLabels(w, s.labels)
+				fmt.Fprintf(w, " %d\n", s.c.Value())
+			case kindGauge:
+				io.WriteString(w, f.name)
+				writeLabels(w, s.labels)
+				fmt.Fprintf(w, " %s\n", formatValue(s.g.Value()))
+			case kindHistogram:
+				cum, sum, total := s.h.snapshot()
+				for i, bound := range s.h.upper {
+					io.WriteString(w, f.name+"_bucket")
+					writeLabels(w, s.labels, Label{"le", formatBound(bound)})
+					fmt.Fprintf(w, " %d\n", cum[i])
+				}
+				io.WriteString(w, f.name+"_bucket")
+				writeLabels(w, s.labels, Label{"le", "+Inf"})
+				fmt.Fprintf(w, " %d\n", cum[len(cum)-1])
+				io.WriteString(w, f.name+"_sum")
+				writeLabels(w, s.labels)
+				fmt.Fprintf(w, " %s\n", formatValue(sum))
+				io.WriteString(w, f.name+"_count")
+				writeLabels(w, s.labels)
+				fmt.Fprintf(w, " %d\n", total)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildRegistry assembles one of every metric shape: plain and labeled
+// counters, a gauge, and a two-series histogram.
+func buildRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("demo_requests_total", "Requests handled.").Add(42)
+	r.Counter("demo_errors_total", "Errors by class.", Label{"class", "timeout"}).Add(3)
+	r.Counter("demo_errors_total", "Errors by class.", Label{"class", "refused"}).Inc()
+	r.Gauge("demo_queue_depth", "Items waiting.").Set(7)
+	r.Gauge("demo_load_ratio", "Fractional load.").Set(0.625)
+	h := r.Histogram("demo_latency_cycles", "Latency distribution.", []float64{10, 100}, Label{"op", "walk"})
+	for _, v := range []float64{5, 50, 500, 7} {
+		h.Observe(v)
+	}
+	r.Histogram("demo_latency_cycles", "Latency distribution.", []float64{10, 100}, Label{"op", "hit"}).Observe(3)
+	return r
+}
+
+// TestExpositionGolden locks the Prometheus text exposition byte for byte:
+// HELP/TYPE ordering, family and series sort order, integer vs float value
+// formatting, and cumulative histogram rendering.
+func TestExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden\n got:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	// The golden must satisfy our own lint, or CI's checker would reject what
+	// the registry emits.
+	if errs := LintProm(buf.Bytes()); len(errs) > 0 {
+		t.Fatalf("registry output fails LintProm: %v", errs)
+	}
+}
+
+func TestExpositionDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildRegistry().WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildRegistry().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical registries exposed differently")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "x", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	cum, sum, total := h.snapshot()
+	// Bounds are inclusive (le): 0.5 and 1 land in le=1; 1.5 in le=2; 3 in
+	// le=4; 100 in +Inf.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cum[%d] = %d, want %d (full: %v)", i, cum[i], w, cum)
+		}
+	}
+	if total != 5 || sum != 106 {
+		t.Fatalf("total=%d sum=%v", total, sum)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m", "x")
+	r.Gauge("m", "x")
+}
+
+func TestSeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "x", Label{"k", "1"})
+	b := r.Counter("c", "x", Label{"k", "1"})
+	if a != b {
+		t.Fatal("same label set produced distinct series")
+	}
+	c := r.Counter("c", "x", Label{"k", "2"})
+	if a == c {
+		t.Fatal("distinct label sets shared a series")
+	}
+}

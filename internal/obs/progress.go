@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Live run progress. ProgressMeter is the one piece of obs that deals in
+// wall-clock time, and it does so without ever reading a clock: callers pass
+// explicit nanosecond timestamps (from time.Now in a cmd/ main, from the
+// injected Clock in asapd), which keeps this package inside the determinism
+// lint scope and makes the meter trivially testable.
+
+// ProgressSnapshot is a point-in-time view of a run's progress.
+type ProgressSnapshot struct {
+	Done  int64
+	Total int64 // 0 when unknown
+	// Rate is the EWMA throughput in items per second; 0 until the first
+	// inter-observation interval has elapsed.
+	Rate float64
+	// ETASeconds estimates the remaining seconds at the current rate;
+	// negative when unknown (no total, or no rate yet).
+	ETASeconds float64
+}
+
+// ProgressMeter tracks completion of a known or unknown total with an
+// exponentially weighted throughput estimate. Safe for concurrent use.
+type ProgressMeter struct {
+	mu        sync.Mutex
+	total     int64
+	done      int64
+	lastNanos int64
+	haveLast  bool
+	rate      float64 // items/sec EWMA
+	haveRate  bool
+	halfLife  float64 // seconds
+}
+
+// NewProgressMeter returns a meter for total items (0 if unknown; see
+// SetTotal). halfLifeSec is the EWMA half-life — observations older than a
+// few half-lives stop influencing the rate; 5s suits interactive CLIs.
+func NewProgressMeter(total int64, halfLifeSec float64) *ProgressMeter {
+	if halfLifeSec <= 0 {
+		halfLifeSec = 5
+	}
+	return &ProgressMeter{total: total, halfLife: halfLifeSec}
+}
+
+// SetTotal updates the expected total (totals grow as jobs are planned).
+func (m *ProgressMeter) SetTotal(total int64) {
+	m.mu.Lock()
+	m.total = total
+	m.mu.Unlock()
+}
+
+// Observe records that done items (cumulative) were complete at nowNanos.
+// Observations must be passed in non-decreasing time order.
+func (m *ProgressMeter) Observe(nowNanos, done int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.haveLast {
+		dt := float64(nowNanos-m.lastNanos) / 1e9
+		if dt > 0 {
+			inst := float64(done-m.done) / dt
+			if !m.haveRate {
+				m.rate = inst
+				m.haveRate = true
+			} else {
+				decay := math.Pow(0.5, dt/m.halfLife)
+				m.rate = decay*m.rate + (1-decay)*inst
+			}
+		}
+	}
+	m.lastNanos = nowNanos
+	m.haveLast = true
+	if done > m.done {
+		m.done = done
+	}
+}
+
+// Snapshot returns the current progress view.
+func (m *ProgressMeter) Snapshot() ProgressSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := ProgressSnapshot{Done: m.done, Total: m.total, ETASeconds: -1}
+	if m.haveRate {
+		s.Rate = m.rate
+	}
+	if m.total > 0 && s.Rate > 0 {
+		remaining := m.total - m.done
+		if remaining < 0 {
+			remaining = 0
+		}
+		s.ETASeconds = float64(remaining) / s.Rate
+	}
+	return s
+}
+
+// Rate returns the current EWMA throughput in items per second.
+func (m *ProgressMeter) Rate() float64 { return m.Snapshot().Rate }
+
+// FormatProgress renders a snapshot as a one-line status suitable for
+// stderr, e.g. "cells 12/40 (30.0%) · 3.4 cells/s · ETA 8s".
+func FormatProgress(unit string, s ProgressSnapshot) string {
+	var b []byte
+	if s.Total > 0 {
+		pct := 100 * float64(s.Done) / float64(s.Total)
+		b = fmt.Appendf(b, "%s %d/%d (%.1f%%)", unit, s.Done, s.Total, pct)
+	} else {
+		b = fmt.Appendf(b, "%s %d", unit, s.Done)
+	}
+	if s.Rate > 0 {
+		b = fmt.Appendf(b, " · %.1f %s/s", s.Rate, unit)
+	}
+	if s.ETASeconds >= 0 {
+		b = fmt.Appendf(b, " · ETA %s", formatETA(s.ETASeconds))
+	}
+	return string(b)
+}
+
+func formatETA(sec float64) string {
+	s := int64(math.Ceil(sec))
+	switch {
+	case s >= 3600:
+		return fmt.Sprintf("%dh%02dm", s/3600, (s%3600)/60)
+	case s >= 60:
+		return fmt.Sprintf("%dm%02ds", s/60, s%60)
+	default:
+		return fmt.Sprintf("%ds", s)
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const second = int64(1e9)
+
+func TestProgressMeterRate(t *testing.T) {
+	m := NewProgressMeter(100, 5)
+	m.Observe(0, 0)
+	if s := m.Snapshot(); s.Rate != 0 || s.ETASeconds != -1 {
+		t.Fatalf("before any interval: %+v", s)
+	}
+	// 10 items over 1 s: the first interval seeds the EWMA directly.
+	m.Observe(1*second, 10)
+	s := m.Snapshot()
+	if math.Abs(s.Rate-10) > 1e-9 {
+		t.Fatalf("rate = %v, want 10", s.Rate)
+	}
+	if math.Abs(s.ETASeconds-9) > 1e-9 { // 90 remaining / 10 per sec
+		t.Fatalf("eta = %v, want 9", s.ETASeconds)
+	}
+	// A slower second interval pulls the estimate down, but not all the way:
+	// 2/s over one 5s-half-life interval decays the old rate by 0.5^(1/5).
+	m.Observe(2*second, 12)
+	decay := math.Pow(0.5, 1.0/5)
+	want := decay*10 + (1-decay)*2
+	if got := m.Rate(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ewma rate = %v, want %v", got, want)
+	}
+}
+
+func TestProgressMeterUnknownTotal(t *testing.T) {
+	m := NewProgressMeter(0, 5)
+	m.Observe(0, 3)
+	m.Observe(1*second, 6)
+	s := m.Snapshot()
+	if s.Total != 0 || s.ETASeconds != -1 {
+		t.Fatalf("unknown total: %+v", s)
+	}
+	m.SetTotal(10)
+	if s := m.Snapshot(); s.ETASeconds < 0 {
+		t.Fatalf("total set but no ETA: %+v", s)
+	}
+}
+
+func TestProgressMeterMonotonicDone(t *testing.T) {
+	m := NewProgressMeter(10, 5)
+	m.Observe(0, 5)
+	m.Observe(1*second, 3) // stale reading must not move done backwards
+	if s := m.Snapshot(); s.Done != 5 {
+		t.Fatalf("done = %d, want 5", s.Done)
+	}
+}
+
+func TestFormatProgress(t *testing.T) {
+	s := ProgressSnapshot{Done: 12, Total: 40, Rate: 3.4, ETASeconds: 8}
+	got := FormatProgress("cells", s)
+	want := "cells 12/40 (30.0%) · 3.4 cells/s · ETA 8s"
+	if got != want {
+		t.Fatalf("format = %q, want %q", got, want)
+	}
+	// No total, no rate: just the count.
+	if got := FormatProgress("cells", ProgressSnapshot{Done: 7, ETASeconds: -1}); got != "cells 7" {
+		t.Fatalf("format = %q", got)
+	}
+	// Long ETAs switch units.
+	long := FormatProgress("cells", ProgressSnapshot{Done: 1, Total: 1000, Rate: 0.01, ETASeconds: 3725})
+	if !strings.Contains(long, "ETA 1h02m") {
+		t.Fatalf("format = %q", long)
+	}
+	mid := FormatProgress("cells", ProgressSnapshot{Done: 1, Total: 100, Rate: 1, ETASeconds: 99})
+	if !strings.Contains(mid, "ETA 1m39s") {
+		t.Fatalf("format = %q", mid)
+	}
+}

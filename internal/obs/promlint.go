@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintProm is a promtool-style checker for the text exposition format,
+// small enough to live in-repo so CI needs no external binary. It enforces
+// the rules that matter for scrapability:
+//
+//   - every sample's base family has # HELP and # TYPE lines, in that order,
+//     before its first sample;
+//   - metric and label names match the Prometheus grammar, label values are
+//     properly quoted;
+//   - sample values parse as floats;
+//   - histogram families have monotonically non-decreasing buckets, a +Inf
+//     bucket, and _count equal to the +Inf bucket.
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+type promFamily struct {
+	help    bool
+	typ     string
+	typLine int
+	samples int
+	// histogram accounting, keyed by the non-le label signature
+	buckets map[string][]bucketSample
+	counts  map[string]float64
+	hasCnt  map[string]bool
+}
+
+type bucketSample struct {
+	le  float64
+	val float64
+}
+
+// baseFamily strips histogram/summary suffixes to the family name.
+func baseFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// parseLabels splits a {k="v",...} body into the label list and returns the
+// value of le (NaN sentinel as found=false) plus the signature of the
+// remaining labels.
+func parseLabels(body string) (labels []Label, err error) {
+	rest := body
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=': %q", rest)
+		}
+		key := rest[:eq]
+		if !promLabelRe.MatchString(key) {
+			return nil, fmt.Errorf("bad label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return nil, fmt.Errorf("label %s: unquoted value", key)
+		}
+		val, tail, err := unquotePrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("label %s: %v", key, err)
+		}
+		labels = append(labels, Label{key, val})
+		rest = tail
+		if rest != "" {
+			if rest[0] != ',' {
+				return nil, fmt.Errorf("junk after label %s: %q", key, rest)
+			}
+			rest = rest[1:]
+		}
+	}
+	return labels, nil
+}
+
+// unquotePrefix consumes a leading quoted string and returns its value and
+// the remainder.
+func unquotePrefix(s string) (val, rest string, err error) {
+	if s == "" || s[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted string")
+	}
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			v, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return v, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}
+
+// LintProm checks Prometheus text exposition data and returns the problems
+// found (nil for a clean document).
+func LintProm(data []byte) []error {
+	var errs []error
+	fams := map[string]*promFamily{}
+	fam := func(name string) *promFamily {
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{
+				buckets: map[string][]bucketSample{},
+				counts:  map[string]float64{},
+				hasCnt:  map[string]bool{},
+			}
+			fams[name] = f
+		}
+		return f
+	}
+
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			f := fam(name)
+			switch fields[1] {
+			case "HELP":
+				if len(fields) < 4 || strings.TrimSpace(fields[3]) == "" {
+					errs = append(errs, fmt.Errorf("line %d: empty HELP for %s", lineNo, name))
+				}
+				f.help = true
+			case "TYPE":
+				if f.samples > 0 {
+					errs = append(errs, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name))
+				}
+				if len(fields) < 4 {
+					errs = append(errs, fmt.Errorf("line %d: TYPE for %s without a type", lineNo, name))
+					continue
+				}
+				typ := strings.TrimSpace(fields[3])
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					errs = append(errs, fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, typ, name))
+				}
+				f.typ = typ
+				f.typLine = lineNo
+			}
+			continue
+		}
+
+		// Sample line: name[{labels}] value
+		var labelBody string
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				errs = append(errs, fmt.Errorf("line %d: unbalanced braces", lineNo))
+				continue
+			}
+			labelBody = line[i+1 : j]
+			line = line[:i] + line[j+1:]
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			errs = append(errs, fmt.Errorf("line %d: sample without value", lineNo))
+			continue
+		}
+		name := fields[0]
+		if !promNameRe.MatchString(name) {
+			errs = append(errs, fmt.Errorf("line %d: bad metric name %q", lineNo, name))
+			continue
+		}
+		val, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %s value %q does not parse", lineNo, name, fields[1]))
+			continue
+		}
+		labels, err := parseLabels(labelBody)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %s: %v", lineNo, name, err))
+			continue
+		}
+
+		base := baseFamily(name)
+		f := fams[base]
+		if f == nil || f.typ == "" {
+			// _sum on a non-histogram family is its own family
+			f = fam(name)
+			base = name
+		}
+		f.samples++
+		if !f.help {
+			errs = append(errs, fmt.Errorf("line %d: %s has no HELP", lineNo, base))
+			f.help = true // report once
+		}
+		if f.typ == "" {
+			errs = append(errs, fmt.Errorf("line %d: %s has no TYPE", lineNo, base))
+			f.typ = "untyped"
+		}
+
+		if f.typ == "histogram" {
+			sig, le, hasLE := histSignature(labels)
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if !hasLE {
+					errs = append(errs, fmt.Errorf("line %d: %s bucket without le label", lineNo, base))
+					continue
+				}
+				f.buckets[sig] = append(f.buckets[sig], bucketSample{le: le, val: val})
+			case strings.HasSuffix(name, "_count"):
+				f.counts[sig] = val
+				f.hasCnt[sig] = true
+			}
+		}
+	}
+
+	// Histogram closure checks.
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if f.typ != "histogram" {
+			continue
+		}
+		sigs := make([]string, 0, len(f.buckets))
+		for s := range f.buckets {
+			sigs = append(sigs, s)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			bs := f.buckets[sig]
+			sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+			var prev float64
+			var hasInf bool
+			var infVal float64
+			for _, b := range bs {
+				if b.val < prev {
+					errs = append(errs, fmt.Errorf(
+						"%s%s: bucket le=%s count %s < previous %s (not cumulative)",
+						n, sigSuffix(sig), formatBound(b.le), formatValue(b.val), formatValue(prev)))
+				}
+				prev = b.val
+				if b.le == infBound {
+					hasInf = true
+					infVal = b.val
+				}
+			}
+			if !hasInf {
+				errs = append(errs, fmt.Errorf("%s%s: no +Inf bucket", n, sigSuffix(sig)))
+				continue
+			}
+			if f.hasCnt[sig] && f.counts[sig] != infVal {
+				errs = append(errs, fmt.Errorf(
+					"%s%s: _count %s != +Inf bucket %s",
+					n, sigSuffix(sig), formatValue(f.counts[sig]), formatValue(infVal)))
+			}
+		}
+	}
+	return errs
+}
+
+var infBound = math.Inf(1)
+
+func sigSuffix(sig string) string {
+	if sig == "" {
+		return ""
+	}
+	return "{" + sig + "}"
+}
+
+// histSignature returns the non-le label signature and the parsed le bound.
+func histSignature(labels []Label) (sig string, le float64, hasLE bool) {
+	var parts []string
+	for _, l := range labels {
+		if l.Key == "le" {
+			hasLE = true
+			if l.Val == "+Inf" {
+				le = infBound
+			} else {
+				le, _ = strconv.ParseFloat(l.Val, 64)
+			}
+			continue
+		}
+		parts = append(parts, l.Key+"="+strconv.Quote(l.Val))
+	}
+	return strings.Join(parts, ","), le, hasLE
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintOne(t *testing.T, doc string) []error {
+	t.Helper()
+	return LintProm([]byte(doc))
+}
+
+func TestLintPromClean(t *testing.T) {
+	doc := `# HELP a_total Things counted.
+# TYPE a_total counter
+a_total 4
+# HELP lat Latency.
+# TYPE lat histogram
+lat_bucket{le="10"} 2
+lat_bucket{le="+Inf"} 5
+lat_sum 61
+lat_count 5
+# HELP g Gauge with labels.
+# TYPE g gauge
+g{x="a",y="b c"} 1.5
+`
+	if errs := lintOne(t, doc); len(errs) > 0 {
+		t.Fatalf("clean doc flagged: %v", errs)
+	}
+}
+
+func TestLintPromFindings(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the expected diagnostic
+	}{
+		{"no help", "# TYPE a counter\na 1\n", "has no HELP"},
+		{"no type", "# HELP a x\na 1\n", "has no TYPE"},
+		{"type after samples", "# HELP a x\na 1\n# TYPE a counter\n", "has no TYPE"},
+		{"unknown type", "# HELP a x\n# TYPE a widget\na 1\n", "unknown TYPE"},
+		{"bad name", "# HELP a x\n# TYPE a counter\n9a 1\n", "bad metric name"},
+		{"bad value", "# HELP a x\n# TYPE a counter\na one\n", "does not parse"},
+		{"missing value", "# HELP a x\n# TYPE a counter\na\n", "sample without value"},
+		{"bad label name", "# HELP a x\n# TYPE a gauge\na{9k=\"v\"} 1\n", "bad label name"},
+		{"unquoted label", "# HELP a x\n# TYPE a gauge\na{k=v} 1\n", "unquoted value"},
+		{"unbalanced braces", "# HELP a x\n# TYPE a gauge\na{k=\"v\" 1\n", "unbalanced braces"},
+		{
+			"non-cumulative buckets",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			"not cumulative",
+		},
+		{
+			"no inf bucket",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_count 5\n",
+			"no +Inf bucket",
+		},
+		{
+			"count mismatch",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 7\n",
+			"_count 7 != +Inf bucket 5",
+		},
+		{
+			"per-series histogram check",
+			"# HELP h x\n# TYPE h histogram\n" +
+				"h_bucket{op=\"a\",le=\"+Inf\"} 2\nh_count{op=\"a\"} 2\n" +
+				"h_bucket{op=\"b\",le=\"1\"} 9\nh_count{op=\"b\"} 9\n",
+			"no +Inf bucket",
+		},
+	}
+	for _, tc := range cases {
+		errs := lintOne(t, tc.doc)
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), tc.want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no diagnostic containing %q (got %v)", tc.name, tc.want, errs)
+		}
+	}
+}
+
+// TestLintPromTypeAfterSamplesOrdering pins the specific HELP-after-use case:
+// metadata arriving after the family's first sample is a scrape hazard even
+// when it is otherwise well-formed.
+func TestLintPromTypeAfterSamplesOrdering(t *testing.T) {
+	doc := "# HELP a x\n# TYPE a counter\na 1\n# TYPE a counter\n"
+	errs := lintOne(t, doc)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "after its samples") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("late TYPE not flagged: %v", errs)
+	}
+}

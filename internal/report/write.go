@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -16,6 +17,7 @@ import (
 //
 //	dir/<format>/<experiment>.<format>   one per-cell record file per experiment
 //	dir/analysis/summary.<format>        grouped mean/std/CI95 over repeats
+//	dir/analysis/metrics.prom            the summary in Prometheus text format
 //
 // format is "csv" or "json". Experiments appear in first-record order;
 // records within an experiment keep insertion order. Experiments that
@@ -52,7 +54,39 @@ func WriteArtifacts(dir, format string, records []Record) error {
 	if err := os.MkdirAll(anaDir, 0o755); err != nil {
 		return err
 	}
-	return writeSummary(filepath.Join(anaDir, "summary."+format), format, records)
+	if err := writeSummary(filepath.Join(anaDir, "summary."+format), format, records); err != nil {
+		return err
+	}
+	return writePromSummary(filepath.Join(anaDir, "metrics.prom"), Summarize(records))
+}
+
+// writePromSummary renders the grouped summary as Prometheus text exposition
+// so dashboards can scrape paper-grid results straight from an artifact tree.
+// One series per (experiment, cell, digest, metric) group; the registry
+// sorts families and series, so the file is deterministic for any record
+// order.
+func writePromSummary(path string, summary []SummaryRow) error {
+	reg := obs.NewRegistry()
+	for _, s := range summary {
+		labels := []obs.Label{
+			{Key: "experiment", Val: s.Experiment},
+			{Key: "cell", Val: s.Cell},
+			{Key: "digest", Val: s.ParamsDigest},
+			{Key: "metric", Val: s.Metric},
+		}
+		reg.Gauge("repro_metric_mean", "Mean of the metric over a cell's repeats.", labels...).Set(s.Stat.Mean)
+		reg.Gauge("repro_metric_std", "Sample standard deviation over a cell's repeats.", labels...).Set(s.Stat.Std)
+		reg.Gauge("repro_metric_repeats", "Number of repeats in the group.", labels...).Set(float64(s.Stat.N))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteProm(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func num(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }

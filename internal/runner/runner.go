@@ -118,8 +118,31 @@ type Runner struct {
 	completed []string // names of successfully simulated cells, completion order
 	hits      uint64
 	misses    uint64
+	submitted uint64 // unique cells accepted (one per simulation started or queued)
+	done      uint64 // cells whose simulation finished (success or error)
+	inFlight  uint64 // cells currently executing on a worker
 	closed    bool
 	wg        sync.WaitGroup
+}
+
+// Progress is a point-in-time view of the runner's work: Submitted counts
+// unique cells accepted (shared submissions of one key count once), Done the
+// cells whose simulation finished — successfully or not — and InFlight the
+// cells executing right now. Submitted - Done - InFlight cells sit in the
+// queue.
+type Progress struct {
+	Submitted uint64
+	Done      uint64
+	InFlight  uint64
+}
+
+// Progress returns a consistent snapshot of the runner's progress counters
+// (all three are read under one lock, so Done+InFlight never exceeds
+// Submitted).
+func (r *Runner) Progress() Progress {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Progress{Submitted: r.submitted, Done: r.done, InFlight: r.inFlight}
 }
 
 // New returns a Runner executing cells on workers goroutines; workers <= 0
@@ -159,8 +182,13 @@ func (r *Runner) worker() {
 }
 
 func (r *Runner) exec(c *cell) {
+	r.mu.Lock()
+	r.inFlight++
+	r.mu.Unlock()
 	c.res, c.err = r.simulate(c.ctx, c.sc, c.p)
 	r.mu.Lock()
+	r.inFlight--
+	r.done++
 	c.settled = true
 	if c.err == nil {
 		r.completed = append(r.completed, c.sc.Name())
@@ -207,6 +235,7 @@ func (r *Runner) SubmitCtx(ctx context.Context, sc sim.Scenario, p sim.Params) *
 	}
 	c := &cell{sc: sc, p: p, ctx: ctx, done: make(chan struct{})}
 	r.cells[k] = c
+	r.submitted++
 	if r.closed {
 		// The pool is gone; run the cell inline so late submissions still
 		// complete instead of waiting forever.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/walker"
 	"repro/internal/workload"
@@ -44,12 +45,12 @@ type mproc struct {
 // costs no simulated time (it happened concurrently with the quantum);
 // what it changes is where the incoming process's walks are served.
 func runMulti(ctx context.Context, sc Scenario, p Params, h *cache.Hierarchy,
-	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result, tap RefTap) error {
+	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result, tap RefTap, tr *obs.Tracer) error {
 	mix, err := workload.MixFor(sc.Workload, sc.Mix, p.Processes)
 	if err != nil {
 		return err
 	}
-	s, err := schemeFor(sc, p, h, mshr)
+	s, err := schemeFor(sc, p, h, mshr, tr)
 	if err != nil {
 		return err
 	}
@@ -69,6 +70,7 @@ func runMulti(ctx context.Context, sc Scenario, p Params, h *cache.Hierarchy,
 			return err
 		}
 		s.Attach(i, asm.process())
+		tr.DefineProcess(i, spec.Name)
 		procs[i] = &mproc{
 			spec: spec,
 			src:  src,
@@ -88,6 +90,7 @@ func runMulti(ctx context.Context, sc Scenario, p Params, h *cache.Hierarchy,
 	var walksTotal, refs, sliceRefs int
 	var coDebt float64
 	measuring := false
+	scheme := sc.SchemeName()
 	cur := procs[0]
 	for refs = 0; refs < p.MaxRefs; refs++ {
 		if refs&ctxCheckMask == 0 && ctx.Err() != nil {
@@ -96,6 +99,9 @@ func runMulti(ctx context.Context, sc Scenario, p Params, h *cache.Hierarchy,
 		if !measuring && walksTotal >= p.WarmupWalks {
 			measure.begin(s.Counters())
 			measuring = true
+			if tr != nil {
+				tr.MeasureBegin(now)
+			}
 		}
 		if measuring && int(measure.walks) >= p.MeasureWalks {
 			break
@@ -114,6 +120,9 @@ func runMulti(ctx context.Context, sc Scenario, p Params, h *cache.Hierarchy,
 			cur = procs[pid]
 			moved := s.Switch(pid)
 			cost := p.SwitchCycles + p.DescSwapCycles*float64(moved)
+			if tr != nil {
+				tr.ProcessSwitch(now, pid, moved, int64(cost))
+			}
 			now += int64(cost)
 			if measuring {
 				measure.contextSwitch(cost)
@@ -126,6 +135,9 @@ func runMulti(ctx context.Context, sc Scenario, p Params, h *cache.Hierarchy,
 		}
 		refCycles := cur.spec.DataStallCycles + cur.spec.InstrPerRef*p.CPIBase
 		if s.Translate(now, va, &wr) {
+			if tr != nil {
+				tr.WalkEnd(now, wr.Cycles, scheme, measuring)
+			}
 			now += int64(wr.Cycles)
 			refCycles += float64(wr.Cycles)
 			walksTotal++
@@ -147,6 +159,12 @@ func runMulti(ctx context.Context, sc Scenario, p Params, h *cache.Hierarchy,
 		// MaxRefs (or a replayed stream) ran out before warmup completed:
 		// report an empty window, not warmup-contaminated cumulative counters.
 		measure.begin(s.Counters())
+		if tr != nil {
+			tr.MeasureBegin(now)
+		}
+	}
+	if tr != nil {
+		tr.MeasureEnd(now)
 	}
 	measure.finish(res, s.Counters())
 	return nil

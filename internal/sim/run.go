@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/mmu"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/walker"
 	"repro/internal/workload"
@@ -137,6 +138,14 @@ func RunTapped(sc Scenario, p Params, tap RefTap) (*Result, error) {
 // RunTappedCtx is RunTapped under a context (see RunCtx for the cancellation
 // contract).
 func RunTappedCtx(ctx context.Context, sc Scenario, p Params, tap RefTap) (*Result, error) {
+	return RunObserved(ctx, sc, p, tap, nil)
+}
+
+// RunObserved is the fully instrumented entry point: RunTappedCtx plus an
+// optional cycle-domain event tracer observing the translation machinery
+// (nil behaves exactly like RunTappedCtx — observation never perturbs the
+// simulation, so metrics are identical with and without a tracer).
+func RunObserved(ctx context.Context, sc Scenario, p Params, tap RefTap, tr *obs.Tracer) (*Result, error) {
 	h := cache.NewHierarchy(p.Cache)
 	mshr := cache.NewMSHRFile(p.MSHRs)
 	res := &Result{Scenario: sc}
@@ -167,17 +176,17 @@ func RunTappedCtx(ctx context.Context, sc Scenario, p Params, tap RefTap) (*Resu
 		if sc.Virtualized {
 			return res, fmt.Errorf("sim: multi-process scheduling is native-only (Processes=%d with Virtualized)", p.Processes)
 		}
-		return res, runMulti(ctx, sc, p, h, mshr, co, res, tap)
+		return res, runMulti(ctx, sc, p, h, mshr, co, res, tap, tr)
 	}
 	if sc.Virtualized {
-		return res, runVirt(ctx, sc, p, h, mshr, co, res, tap)
+		return res, runVirt(ctx, sc, p, h, mshr, co, res, tap, tr)
 	}
-	return res, runNative(ctx, sc, p, h, mshr, co, res, tap)
+	return res, runNative(ctx, sc, p, h, mshr, co, res, tap, tr)
 }
 
 // schemeFor constructs the scenario's native translation scheme over the
 // run's shared hierarchy and MSHR file.
-func schemeFor(sc Scenario, p Params, h *cache.Hierarchy, mshr *cache.MSHRFile) (mmu.Scheme, error) {
+func schemeFor(sc Scenario, p Params, h *cache.Hierarchy, mshr *cache.MSHRFile, tr *obs.Tracer) (mmu.Scheme, error) {
 	return mmu.New(sc.SchemeName(), mmu.Config{
 		Hier:           h,
 		MSHR:           mshr,
@@ -186,6 +195,7 @@ func schemeFor(sc Scenario, p Params, h *cache.Hierarchy, mshr *cache.MSHRFile) 
 		ASAP:           sc.ASAP.Native,
 		RangeRegisters: p.RangeRegisters,
 		FlushOnSwitch:  p.FlushOnSwitch,
+		Trace:          tr,
 	})
 }
 
@@ -209,13 +219,14 @@ func (a *nativeAssembly) process() *mmu.Process {
 // drive replays a single-process reference stream through the scheme: the
 // shared measurement loop of the native, virtualized and trace-driven runs.
 func drive(ctx context.Context, sc Scenario, p Params, s mmu.Scheme, src refSource,
-	h *cache.Hierarchy, co *workload.CoRunner, res *Result) error {
+	h *cache.Hierarchy, co *workload.CoRunner, res *Result, tr *obs.Tracer) error {
 	var wr walker.Result
 	var now int64
 	measure := newMeter(sc.Workload, p)
 	var walksTotal, refs int
 	var coDebt float64
 	measuring := false
+	scheme := sc.SchemeName()
 	for refs = 0; refs < p.MaxRefs; refs++ {
 		if refs&ctxCheckMask == 0 && ctx.Err() != nil {
 			return ctx.Err()
@@ -223,6 +234,9 @@ func drive(ctx context.Context, sc Scenario, p Params, s mmu.Scheme, src refSour
 		if !measuring && walksTotal >= p.WarmupWalks {
 			measure.begin(s.Counters())
 			measuring = true
+			if tr != nil {
+				tr.MeasureBegin(now)
+			}
 		}
 		if measuring && int(measure.walks) >= p.MeasureWalks {
 			break
@@ -233,6 +247,9 @@ func drive(ctx context.Context, sc Scenario, p Params, s mmu.Scheme, src refSour
 		}
 		refCycles := sc.Workload.DataStallCycles + sc.Workload.InstrPerRef*p.CPIBase
 		if s.Translate(now, va, &wr) {
+			if tr != nil {
+				tr.WalkEnd(now, wr.Cycles, scheme, measuring)
+			}
 			now += int64(wr.Cycles)
 			refCycles += float64(wr.Cycles)
 			walksTotal++
@@ -259,13 +276,19 @@ func drive(ctx context.Context, sc Scenario, p Params, s mmu.Scheme, src refSour
 		// completed: report a clean empty window rather than folding warmup
 		// into the measurements.
 		measure.begin(s.Counters())
+		if tr != nil {
+			tr.MeasureBegin(now)
+		}
+	}
+	if tr != nil {
+		tr.MeasureEnd(now)
 	}
 	measure.finish(res, s.Counters())
 	return nil
 }
 
 func runNative(ctx context.Context, sc Scenario, p Params, h *cache.Hierarchy,
-	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result, tap RefTap) error {
+	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result, tap RefTap, tr *obs.Tracer) error {
 	var asm *nativeAssembly
 	var src refSource
 	if sc.Trace != "" {
@@ -288,17 +311,18 @@ func runNative(ctx context.Context, sc Scenario, p Params, h *cache.Hierarchy,
 	if err != nil {
 		return err
 	}
-	s, err := schemeFor(sc, p, h, mshr)
+	s, err := schemeFor(sc, p, h, mshr, tr)
 	if err != nil {
 		return err
 	}
 	s.Attach(0, asm.process())
 	s.Boot(0)
-	return drive(ctx, sc, p, s, src, h, co, res)
+	tr.DefineProcess(0, sc.Workload.Name)
+	return drive(ctx, sc, p, s, src, h, co, res, tr)
 }
 
 func runVirt(ctx context.Context, sc Scenario, p Params, h *cache.Hierarchy,
-	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result, tap RefTap) error {
+	mshr *cache.MSHRFile, co *workload.CoRunner, res *Result, tap RefTap, tr *obs.Tracer) error {
 	asm, err := virtFor(sc.Workload, sc.ASAP.Guest.Enabled(), sc.ASAP.Host.Enabled(), sc.HostHugePages, p)
 	if err != nil {
 		return err
@@ -317,13 +341,15 @@ func runVirt(ctx context.Context, sc Scenario, p Params, h *cache.Hierarchy,
 		HostPT:         asm.ept,
 		Translate:      asm.gmap.Translate,
 		DataGPA:        asm.dataGPA,
+		Trace:          tr,
 	})
 	src, err := tapped(genSource{workload.NewGenerator(sc.Workload, asm.layout, p.Seed)},
 		tap, 0, sc.Workload, asm.layout, p.Seed)
 	if err != nil {
 		return err
 	}
-	return drive(ctx, sc, p, s, src, h, co, res)
+	tr.DefineProcess(0, sc.Workload.Name)
+	return drive(ctx, sc, p, s, src, h, co, res, tr)
 }
 
 // meter accumulates measured-window statistics and the execution-time model.

@@ -4,6 +4,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pt"
 	"repro/internal/pwc"
 )
@@ -30,6 +31,8 @@ type Nested struct {
 	// must agree with the host page table's layout (virt.Machine provides
 	// both consistently).
 	Translate func(gpa mem.PhysAddr) mem.PhysAddr
+	// Trace, when non-nil, receives per-step walk events (internal/obs).
+	Trace *obs.Tracer
 
 	gTargets []core.Target
 	hTargets []core.Target
@@ -47,16 +50,22 @@ func (n *Nested) Walk(now int64, gva mem.VirtAddr, dataGPA mem.PhysAddr, res *Re
 	// overlapping the guest PT-entry accesses with everything before them
 	// (paper §3.6: accesses 15 and 20 in Fig 7).
 	var issued int
-	issued, n.gTargets = issue(n.GuestASAP, n.H, n.MSHR, gva, now, t, n.gTargets, &n.gpf)
+	issued, n.gTargets = issue(n.GuestASAP, n.H, n.MSHR, n.Trace, gva, now, t, n.gTargets, &n.gpf)
 	res.PrefetchIssued += issued
 
 	gRoot := n.GuestPT.Config().Levels
 	t += n.GuestPWC.Latency()
 	gStart := n.GuestPWC.Lookup(gva, gRoot)
+	if n.Trace != nil {
+		n.Trace.PWCLookup(now, int64(n.GuestPWC.Latency()), gStart)
+	}
 	for l := gRoot; l > gStart; l-- {
 		// A guest PWC hit caches the guest entry together with its machine
 		// pointer, so the host walk for that level is skipped entirely.
 		res.add(DimGuest, l, cache.ServedPWC, 0, false)
+		if n.Trace != nil {
+			n.Trace.Step(DimGuest.String(), l, cache.ServedPWC.String(), now+int64(t), 0, false)
+		}
 	}
 
 	gw := n.GuestPT.Walk(gva)
@@ -80,6 +89,9 @@ func (n *Nested) Walk(now int64, gva mem.VirtAddr, dataGPA mem.PhysAddr, res *Re
 			res.PrefetchCovered++
 		} else {
 			served, cost = n.H.Access(maddr)
+		}
+		if n.Trace != nil {
+			n.Trace.Step(DimGuest.String(), int(e.Level), served.String(), now+int64(t), int64(cost), wasPf)
 		}
 		t += cost
 		res.add(DimGuest, e.Level, served, cost, wasPf)
@@ -105,14 +117,21 @@ func (n *Nested) hostWalk(now int64, t int, gpa mem.PhysAddr, res *Result) int {
 	// Host-dimension prefetches launch as the 1D walk starts (paper §3.6),
 	// using the guest-physical address against the host range registers.
 	var issued int
-	issued, n.hTargets = issue(n.HostASAP, n.H, n.MSHR, mem.VirtAddr(gpa), now, t, n.hTargets, &n.hpf)
+	issued, n.hTargets = issue(n.HostASAP, n.H, n.MSHR, n.Trace, mem.VirtAddr(gpa), now, t, n.hTargets, &n.hpf)
 	res.PrefetchIssued += issued
 
 	hRoot := n.HostPT.Config().Levels
+	hT0 := t
 	t += n.HostPWC.Latency()
 	hStart := n.HostPWC.Lookup(mem.VirtAddr(gpa), hRoot)
+	if n.Trace != nil {
+		n.Trace.PWCLookup(now+int64(hT0), int64(n.HostPWC.Latency()), hStart)
+	}
 	for l := hRoot; l > hStart; l-- {
 		res.add(DimHost, l, cache.ServedPWC, 0, false)
+		if n.Trace != nil {
+			n.Trace.Step(DimHost.String(), l, cache.ServedPWC.String(), now+int64(t), 0, false)
+		}
 	}
 
 	hw := n.HostPT.Walk(mem.VirtAddr(gpa))
@@ -132,6 +151,9 @@ func (n *Nested) hostWalk(now int64, t int, gpa mem.PhysAddr, res *Result) int {
 			res.PrefetchCovered++
 		} else {
 			served, cost = n.H.Access(e.EntryAddr)
+		}
+		if n.Trace != nil {
+			n.Trace.Step(DimHost.String(), int(e.Level), served.String(), now+int64(t), int64(cost), wasPf)
 		}
 		t += cost
 		res.add(DimHost, e.Level, served, cost, wasPf)

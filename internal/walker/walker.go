@@ -16,6 +16,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pt"
 	"repro/internal/pwc"
 )
@@ -102,7 +103,7 @@ func (p *prefetchState) clear() {
 
 // issue launches the engine's prefetches for va at relative time t, charging
 // MSHRs (absolute base time now) and filling the hierarchy.
-func issue(e *core.Engine, h *cache.Hierarchy, mshr *cache.MSHRFile,
+func issue(e *core.Engine, h *cache.Hierarchy, mshr *cache.MSHRFile, tr *obs.Tracer,
 	va mem.VirtAddr, now int64, t int, buf []core.Target, p *prefetchState) (issued int, _ []core.Target) {
 	p.clear()
 	if e == nil {
@@ -113,6 +114,9 @@ func issue(e *core.Engine, h *cache.Hierarchy, mshr *cache.MSHRFile,
 		where := h.Where(tg.Addr)
 		lat := h.Latency(where)
 		if mshr != nil && !mshr.TryAcquire(now+int64(t), now+int64(t+lat)) {
+			if tr != nil {
+				tr.MSHRDrop(tg.Level, now+int64(t))
+			}
 			continue // best effort: no MSHR, no prefetch (paper §3.4)
 		}
 		// The prefetch travels like a normal request and lands in L1-D.
@@ -120,6 +124,9 @@ func issue(e *core.Engine, h *cache.Hierarchy, mshr *cache.MSHRFile,
 		p.done[tg.Level] = t + lat
 		p.line[tg.Level] = tg.Addr.Line()
 		issued++
+		if tr != nil {
+			tr.Prefetch(tg.Level, now+int64(t), int64(lat))
+		}
 	}
 	return issued, buf
 }
@@ -130,6 +137,10 @@ type Walker struct {
 	PWC  *pwc.PWC
 	ASAP *core.Engine    // nil for the baseline
 	MSHR *cache.MSHRFile // nil means unlimited MSHRs
+	// Trace, when non-nil, receives per-step walk events (internal/obs).
+	// Disabled tracing costs one nil check per walk phase, nothing per
+	// reference.
+	Trace *obs.Tracer
 
 	targets []core.Target
 	pf      prefetchState
@@ -141,14 +152,20 @@ func (w *Walker) Walk(now int64, table *pt.Table, va mem.VirtAddr, res *Result) 
 	res.reset()
 	t := 0
 	var issued int
-	issued, w.targets = issue(w.ASAP, w.H, w.MSHR, va, now, t, w.targets, &w.pf)
+	issued, w.targets = issue(w.ASAP, w.H, w.MSHR, w.Trace, va, now, t, w.targets, &w.pf)
 	res.PrefetchIssued = issued
 
 	root := table.Config().Levels
 	t += w.PWC.Latency()
 	start := w.PWC.Lookup(va, root)
+	if w.Trace != nil {
+		w.Trace.PWCLookup(now, int64(w.PWC.Latency()), start)
+	}
 	for l := root; l > start; l-- {
 		res.add(DimNative, l, cache.ServedPWC, 0, false)
+		if w.Trace != nil {
+			w.Trace.Step(DimNative.String(), l, cache.ServedPWC.String(), now+int64(t), 0, false)
+		}
 	}
 
 	wr := table.Walk(va)
@@ -168,6 +185,9 @@ func (w *Walker) Walk(now int64, table *pt.Table, va mem.VirtAddr, res *Result) 
 			res.PrefetchCovered++
 		} else {
 			served, cost = w.H.Access(e.EntryAddr)
+		}
+		if w.Trace != nil {
+			w.Trace.Step(DimNative.String(), int(e.Level), served.String(), now+int64(t), int64(cost), wasPf)
 		}
 		t += cost
 		res.add(DimNative, e.Level, served, cost, wasPf)
